@@ -1,0 +1,7 @@
+"""Benchmark-suite conftest: make the repository root importable so the
+shared helpers in ``benchmarks/common.py`` resolve."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,65 @@
+"""AutoEncoder training on three engines (the Section 6.5 comparison).
+
+Trains the two-hidden-layer AutoEncoder for one epoch on FuseME, the
+SystemDS-like baseline and the single-node TensorFlow-XLA-like baseline,
+verifying that all three produce bit-identical weights while their cost
+profiles differ, and that training actually reduces reconstruction error.
+
+Run:  python examples/autoencoder_training.py
+"""
+
+from repro import EngineConfig, FuseMEEngine, LocalXLAEngine, SystemDSLikeEngine
+from repro.matrix import rand_dense
+from repro.utils.formatting import format_bytes, format_seconds
+from repro.workloads import AutoEncoder, AutoEncoderShapes
+
+BLOCK = 25
+
+
+def main() -> None:
+    shapes = AutoEncoderShapes(features=200, hidden1=100, hidden2=25)
+    autoencoder = AutoEncoder(shapes, batch_size=100, block_size=BLOCK)
+    data = rand_dense(400, shapes.features, BLOCK, seed=3)
+    weights = autoencoder.initial_weights(seed=5)
+
+    before = autoencoder.reconstruction_error(data, weights)
+    print(f"architecture: {shapes}")
+    print(f"reconstruction error before training: {before:.6f}\n")
+
+    config = EngineConfig(block_size=BLOCK).with_cluster(
+        num_nodes=2, tasks_per_node=4
+    )
+    engines = [
+        FuseMEEngine(config),
+        SystemDSLikeEngine(config),
+        LocalXLAEngine(config),
+    ]
+
+    trained = {}
+    for engine in engines:
+        run = autoencoder.run_epoch(engine, data, weights=weights)
+        after = autoencoder.reconstruction_error(data, run.weights)
+        trained[engine.name] = run
+        print(
+            f"{engine.name:11s} epoch: steps={len(run.steps)} "
+            f"modeled time={format_seconds(run.elapsed_seconds)} "
+            f"comm={format_bytes(run.comm_bytes)} "
+            f"error after={after:.6f}"
+        )
+
+    # every engine computes the same gradients: weights agree exactly
+    reference = trained["FuseME"].weights
+    for name, run in trained.items():
+        for weight_name in reference:
+            assert reference[weight_name].allclose(
+                run.weights[weight_name], atol=1e-7
+            ), (name, weight_name)
+    print("\nall engines produced identical weights: OK")
+
+    final = autoencoder.reconstruction_error(data, reference)
+    assert final < before
+    print(f"training reduced reconstruction error {before:.6f} -> {final:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Baseline engines re-implemented on the shared simulated substrate.
+
+Each baseline reproduces the *fusion policy* and *distributed operator
+choice* of the corresponding system in the paper's evaluation:
+
+* :class:`SystemDSLikeEngine` — GEN template fusion (Cell / Outer / Row /
+  Multi-aggregation) with the BFO/RFO selection rule of Section 6.2.
+* :class:`MatFastLikeEngine` — folds only consecutive element-wise operators;
+  matrix multiplications run standalone with broadcast consolidation.
+* :class:`DistMELikeEngine` — no fusion at all; matrix multiplication runs as
+  CuboidMM with optimized ``(P, Q, R)``.
+* :class:`LocalXLAEngine` — a TensorFlow-XLA stand-in: the whole DAG executes
+  fully fused on a single node (no communication, single-node compute).
+"""
+
+from repro.baselines.gen import GenPlanner
+from repro.baselines.systemds import SystemDSLikeEngine
+from repro.baselines.matfast import MatFastLikeEngine
+from repro.baselines.distme import DistMELikeEngine
+from repro.baselines.local_xla import LocalXLAEngine
+
+__all__ = [
+    "GenPlanner",
+    "SystemDSLikeEngine",
+    "MatFastLikeEngine",
+    "DistMELikeEngine",
+    "LocalXLAEngine",
+]

@@ -1,0 +1,84 @@
+"""A TensorFlow-XLA-like baseline: single-node, fully fused execution.
+
+TensorFlow with XLA (Section 6.5) compiles the whole DAG into fused kernels
+on one machine: there is no cluster communication at all, but also no
+cluster — compute bandwidth is a single node's, and the working set must fit
+one machine's memory.  This engine evaluates the DAG with the numpy
+reference interpreter, charges flops from the actual operand shapes, and
+models elapsed time as pure single-node computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.cluster.metrics import MetricsCollector, StageRecord
+from repro.config import EngineConfig
+from repro.errors import TaskOutOfMemoryError
+from repro.execution import ExecutionResult, Query, as_dag
+from repro.lang.dag import DAG, Node
+from repro.lang.interpreter import evaluate_many
+from repro.matrix.distributed import BlockedMatrix
+from repro.matrix.generators import from_numpy
+
+
+class LocalXLAEngine:
+    """Whole-DAG fused execution on one node (no distribution)."""
+
+    name = "TensorFlow"
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+
+    @property
+    def node_memory(self) -> int:
+        """One machine's memory: every task slot's budget on one node."""
+        cluster = self.config.cluster
+        return cluster.task_memory_budget * cluster.tasks_per_node
+
+    def execute(
+        self,
+        query: Query,
+        inputs: Mapping[str, BlockedMatrix],
+        cluster: object = None,
+    ) -> ExecutionResult:
+        dag = as_dag(query)
+        dag.validate_inputs(inputs.keys())
+
+        working_set = sum(m.nbytes for m in inputs.values())
+        flops = 0
+        peak = working_set
+        for node in dag.operators():
+            flops += node.estimated_flops()
+            # fused execution still holds each operator's output briefly
+            peak = max(peak, working_set + node.meta.estimated_bytes)
+        if peak > self.node_memory:
+            raise TaskOutOfMemoryError("xla-node", int(peak), self.node_memory)
+
+        env = {name: matrix.to_numpy() for name, matrix in inputs.items()}
+        arrays = evaluate_many(list(dag.roots), env)
+
+        cluster_cfg = self.config.cluster
+        seconds = flops / cluster_cfg.compute_bandwidth + cluster_cfg.task_launch_overhead
+        metrics = MetricsCollector()
+        metrics.record(
+            StageRecord(
+                name="xla:fused",
+                num_tasks=1,
+                consolidation_bytes=0,
+                aggregation_bytes=0,
+                flops=int(flops),
+                seconds=seconds,
+                peak_task_memory=int(peak),
+            )
+        )
+        outputs: Dict[Node, BlockedMatrix] = {}
+        for root, array in zip(dag.roots, arrays):
+            outputs[root] = from_numpy(
+                np.atleast_2d(array), block_size=root.meta.block_size
+            )
+        return ExecutionResult(
+            outputs=outputs, metrics=metrics, fusion_plan=None, dag=dag
+        )

@@ -1,0 +1,121 @@
+"""SystemDS-like engine: GEN plans executed with BFO or RFO.
+
+The distributed fused operator is chosen by the rule the paper states in
+Section 6.2: SystemDS "uses the BFO if the number of partitions of X is
+smaller than I or J; otherwise, it uses the RFO".  Standalone matrix
+multiplications broadcast the smaller operand when it fits comfortably in a
+task's budget (mapmm), else fall back to replication (rmm).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+from repro.cluster.executor import SimulatedCluster
+from repro.config import EngineConfig
+from repro.core.plan import FusionPlan, MultiAggPlan, PlanUnit
+from repro.execution import Engine
+from repro.baselines.gen import GenPlanner
+from repro.lang.dag import DAG, InputNode, Node
+from repro.matrix.distributed import BlockedMatrix
+from repro.operators.bfo import BroadcastFusedOperator
+from repro.operators.cell import FusedCellOperator
+from repro.operators.multi_agg import MultiAggregationOperator
+from repro.operators.rfo import ReplicationFusedOperator
+
+#: mapmm is chosen when the broadcast operand uses at most this fraction of
+#: the per-task budget (Spark broadcast variables must leave execution room).
+_BROADCAST_FRACTION = 0.45
+
+
+class SystemDSLikeEngine(Engine):
+    """GEN fusion templates + BFO/RFO distributed fused operators."""
+
+    name = "SystemDS"
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        super().__init__(config)
+        self._planner = GenPlanner(self.config)
+        #: Operator decisions taken during the last run, for inspection.
+        self.last_choices: list[str] = []
+
+    def plan_query(self, dag: DAG) -> FusionPlan:
+        self.last_choices = []
+        return self._planner.plan(dag)
+
+    def run_unit(
+        self,
+        unit: PlanUnit,
+        cluster: SimulatedCluster,
+        env: Mapping[object, BlockedMatrix],
+    ):
+        plan = unit.plan
+        if isinstance(plan, MultiAggPlan):
+            self.last_choices.append(f"multi-agg:{plan.label()}")
+            return MultiAggregationOperator(plan, self.config).execute(cluster, env)
+        if not plan.contains_matmul:
+            self.last_choices.append(f"cell:{plan.label()}")
+            return FusedCellOperator(plan, self.config).execute(cluster, env)
+
+        if len(plan) == 1:
+            choice = self._standalone_strategy(plan, env)
+        else:
+            choice = self._fused_strategy(plan, env)
+        self.last_choices.append(f"{choice}:{plan.label()}")
+        if choice == "bfo":
+            operator: object = BroadcastFusedOperator(plan, self.config)
+        else:
+            operator = ReplicationFusedOperator(plan, self.config)
+        return operator.execute(cluster, env)
+
+    # -- strategy selection --------------------------------------------------
+
+    def _fused_strategy(
+        self, plan, env: Mapping[object, BlockedMatrix]
+    ) -> str:
+        """The paper's rule: BFO iff partitions(main) < I or < J."""
+        main_bytes = self._largest_frontier_bytes(plan, env)
+        partitions = max(
+            1, math.ceil(main_bytes / self.config.cluster.input_split_bytes)
+        )
+        mm = plan.main_matmul()
+        extent_i, extent_j, _ = mm.mm_dims()
+        if partitions < extent_i or partitions < extent_j:
+            return "bfo"
+        return "rfo"
+
+    def _standalone_strategy(
+        self, plan, env: Mapping[object, BlockedMatrix]
+    ) -> str:
+        """mapmm (broadcast) when the smaller operand fits, else rmm."""
+        mm = plan.main_matmul()
+        sizes = []
+        for node in plan.frontier():
+            value = self._lookup(node, env)
+            sizes.append(value.nbytes if value is not None
+                         else node.meta.estimated_bytes)
+        smaller = min(sizes) if sizes else 0
+        budget = self.config.cluster.task_memory_budget
+        if smaller <= budget * _BROADCAST_FRACTION:
+            return "bfo"
+        return "rfo"
+
+    def _largest_frontier_bytes(
+        self, plan, env: Mapping[object, BlockedMatrix]
+    ) -> int:
+        largest = 0
+        for node in plan.frontier():
+            value = self._lookup(node, env)
+            size = value.nbytes if value is not None else node.meta.estimated_bytes
+            largest = max(largest, size)
+        return largest
+
+    @staticmethod
+    def _lookup(
+        node: Node, env: Mapping[object, BlockedMatrix]
+    ) -> Optional[BlockedMatrix]:
+        value = env.get(node.node_id)
+        if value is None and isinstance(node, InputNode):
+            value = env.get(node.name)
+        return value

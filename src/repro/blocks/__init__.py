@@ -1,0 +1,41 @@
+"""Block-level kernel layer.
+
+A blocked matrix is a grid of fixed-size blocks (paper: 1000x1000; default
+here: 100x100).  A :class:`~repro.blocks.block.Block` wraps either a dense
+``numpy.ndarray`` or a ``scipy.sparse.csr_matrix`` and exposes the element-wise,
+aggregation, multiplication and reorganization kernels the five basic operator
+types of the paper (Section 2.1) need, plus the SDDMM kernel used for sparsity
+exploitation in Outer-style fusion.
+"""
+
+from repro.blocks.block import Block
+from repro.blocks.kernels import (
+    AGGREGATION_KERNELS,
+    BINARY_KERNELS,
+    UNARY_KERNELS,
+    aggregate,
+    binary,
+    binary_flops,
+    matmul,
+    matmul_flops,
+    sddmm,
+    sddmm_flops,
+    unary,
+    unary_flops,
+)
+
+__all__ = [
+    "Block",
+    "UNARY_KERNELS",
+    "BINARY_KERNELS",
+    "AGGREGATION_KERNELS",
+    "unary",
+    "binary",
+    "aggregate",
+    "matmul",
+    "sddmm",
+    "unary_flops",
+    "binary_flops",
+    "matmul_flops",
+    "sddmm_flops",
+]

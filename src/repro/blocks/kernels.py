@@ -1,0 +1,359 @@
+"""Named element-wise, aggregation and multiplication kernels.
+
+Each kernel is registered under the operator name the DAG layer uses (e.g.
+``"mul"`` for the paper's ``b(*)``, ``"log"`` for ``u(log)``,
+``"sum"``/``"rowSum"``/``"colSum"`` for the unary aggregations of Section 2.1).
+Kernels are pure: they take blocks (or scalars) and return a new block.
+Separate ``*_flops`` estimators let the simulated cluster charge computation
+cost without instrumenting the math itself, mirroring ``numOp(v)`` in Eq. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.blocks.block import Block
+from repro.errors import MatrixShapeError, SparsityError
+
+Operand = Union[Block, float, int]
+
+
+# ---------------------------------------------------------------------------
+# unary kernels
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnaryKernel:
+    """A named element-wise function of one matrix.
+
+    ``zero_preserving`` kernels map 0 to 0 and may therefore operate on the
+    stored values of a sparse block without densifying it; non-preserving
+    kernels (``log``, ``exp``, ...) densify, exactly the effect that makes
+    sparsity exploitation valuable in the paper's Outer fusion.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    zero_preserving: bool
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+UNARY_KERNELS: Mapping[str, UnaryKernel] = {
+    k.name: k
+    for k in (
+        UnaryKernel("log", lambda x: np.log(x), zero_preserving=False),
+        UnaryKernel("log1p", np.log1p, zero_preserving=True),
+        UnaryKernel("exp", np.exp, zero_preserving=False),
+        UnaryKernel("sigmoid", _sigmoid, zero_preserving=False),
+        UnaryKernel("sqrt", np.sqrt, zero_preserving=True),
+        UnaryKernel("abs", np.abs, zero_preserving=True),
+        UnaryKernel("neg", np.negative, zero_preserving=True),
+        UnaryKernel("sq", np.square, zero_preserving=True),
+        UnaryKernel("relu", lambda x: np.maximum(x, 0.0), zero_preserving=True),
+        UnaryKernel("sin", np.sin, zero_preserving=True),
+        UnaryKernel("cos", np.cos, zero_preserving=False),
+        UnaryKernel("tanh", np.tanh, zero_preserving=True),
+        UnaryKernel("round", np.round, zero_preserving=True),
+        UnaryKernel("recip", lambda x: 1.0 / x, zero_preserving=False),
+    )
+}
+
+
+def unary(name: str, a: Block) -> Block:
+    """Apply the unary kernel *name* element-wise to block *a*."""
+    kernel = UNARY_KERNELS.get(name)
+    if kernel is None:
+        raise KeyError(f"unknown unary kernel {name!r}")
+    if a.is_sparse and kernel.zero_preserving:
+        result = a.data.copy()
+        result.data = kernel.fn(result.data)
+        return Block(result)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        return Block(kernel.fn(a.to_numpy()))
+
+
+def unary_flops(name: str, a: Block) -> int:
+    """Floating point operations charged for a unary kernel application."""
+    kernel = UNARY_KERNELS.get(name)
+    if kernel is None:
+        raise KeyError(f"unknown unary kernel {name!r}")
+    if a.is_sparse and kernel.zero_preserving:
+        return a.nnz
+    rows, cols = a.shape
+    return rows * cols
+
+
+# ---------------------------------------------------------------------------
+# binary kernels
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BinaryKernel:
+    """A named element-wise function of two matrices (or matrix and scalar).
+
+    ``sparse_safe_left`` means a zero on the left forces a zero output
+    regardless of the right operand (e.g. multiplication and division),
+    so a sparse left operand keeps the result sparse.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    sparse_safe_left: bool
+
+
+BINARY_KERNELS: Mapping[str, BinaryKernel] = {
+    k.name: k
+    for k in (
+        BinaryKernel("add", np.add, sparse_safe_left=False),
+        BinaryKernel("sub", np.subtract, sparse_safe_left=False),
+        BinaryKernel("mul", np.multiply, sparse_safe_left=True),
+        BinaryKernel("div", np.divide, sparse_safe_left=True),
+        BinaryKernel("pow", np.power, sparse_safe_left=True),
+        BinaryKernel("min", np.minimum, sparse_safe_left=False),
+        BinaryKernel("max", np.maximum, sparse_safe_left=False),
+        BinaryKernel("neq", lambda a, b: (a != b).astype(np.float64), sparse_safe_left=False),
+        BinaryKernel("eq", lambda a, b: (a == b).astype(np.float64), sparse_safe_left=False),
+        BinaryKernel("gt", lambda a, b: (a > b).astype(np.float64), sparse_safe_left=False),
+        BinaryKernel("lt", lambda a, b: (a < b).astype(np.float64), sparse_safe_left=False),
+    )
+}
+
+#: Kernels whose output at zero-left is zero even for scalar right operands,
+#: so comparing a sparse matrix against a scalar can stay sparse.
+_SPARSE_SCALAR_OK = {"mul", "div", "pow", "neq", "gt"}
+
+
+def _as_operands(a: Operand, b: Operand) -> tuple[Operand, Operand]:
+    if not isinstance(a, Block) and not isinstance(b, Block):
+        raise TypeError("at least one binary operand must be a Block")
+    return a, b
+
+
+def binary(name: str, a: Operand, b: Operand) -> Block:
+    """Apply the binary kernel *name* element-wise.
+
+    Either operand may be a scalar.  Matrix operands must share a shape.
+    Sparse representations are preserved whenever the kernel semantics allow
+    (a zero on the sparse side forcing a zero output).
+    """
+    kernel = BINARY_KERNELS.get(name)
+    if kernel is None:
+        raise KeyError(f"unknown binary kernel {name!r}")
+    a, b = _as_operands(a, b)
+
+    # scalar cases -----------------------------------------------------------
+    if not isinstance(a, Block):
+        left = float(a)
+        assert isinstance(b, Block)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return Block(kernel.fn(left, b.to_numpy()))
+    if not isinstance(b, Block):
+        right = float(b)
+        if a.is_sparse and name in _SPARSE_SCALAR_OK and right != 0.0:
+            result = a.data.copy()
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                result.data = kernel.fn(result.data, right)
+            return Block(result)
+        if a.is_sparse and name == "neq" and right == 0.0:
+            # the paper's (X != 0) mask: ones at the sparsity pattern of X
+            result = a.data.copy()
+            result.data = np.ones_like(result.data)
+            return Block(result)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return Block(kernel.fn(a.to_numpy(), right))
+
+    # matrix-matrix case -------------------------------------------------------
+    if a.shape != b.shape:
+        raise MatrixShapeError(
+            f"binary {name!r} operands must match: {a.shape} vs {b.shape}"
+        )
+    if a.is_sparse and kernel.sparse_safe_left:
+        if name == "mul":
+            return Block(a.data.multiply(b.data if b.is_sparse else b.to_numpy()).tocsr())
+        if name == "div":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return Block(a.data.multiply(1.0 / b.to_numpy()).tocsr())
+        # pow with a sparse left: operate at the stored pattern
+        rows, cols = a.data.nonzero()
+        dense_b = b.to_numpy()
+        result = a.data.copy()
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            result.data = kernel.fn(result.data, dense_b[rows, cols])
+        return Block(result)
+    if b.is_sparse and name == "mul":
+        return Block(b.data.multiply(a.to_numpy()).tocsr())
+    if a.is_sparse and b.is_sparse and name in ("add", "sub"):
+        op = a.data + b.data if name == "add" else a.data - b.data
+        return Block(op.tocsr())
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        return Block(kernel.fn(a.to_numpy(), b.to_numpy()))
+
+
+def binary_flops(name: str, a: Operand, b: Operand) -> int:
+    """Floating point operations charged for a binary kernel application."""
+    if name not in BINARY_KERNELS:
+        raise KeyError(f"unknown binary kernel {name!r}")
+    blocks = [x for x in (a, b) if isinstance(x, Block)]
+    if not blocks:
+        raise TypeError("at least one binary operand must be a Block")
+    kernel = BINARY_KERNELS[name]
+    left = blocks[0]
+    if kernel.sparse_safe_left and isinstance(a, Block) and a.is_sparse:
+        return a.nnz
+    rows, cols = left.shape
+    return rows * cols
+
+
+# ---------------------------------------------------------------------------
+# aggregation kernels
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregationKernel:
+    """A named unary aggregation: full, per-row or per-column reduction.
+
+    ``combine`` merges partial results from different blocks along the
+    aggregated axis; for sums it is addition, for min/max the corresponding
+    element-wise reduction.  This is what the paper's "matrix aggregation
+    step" shuffles.
+    """
+
+    name: str
+    axis: str  # "all" | "row" | "col"
+    fn: Callable[[np.ndarray], np.ndarray]
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+AGGREGATION_KERNELS: Mapping[str, AggregationKernel] = {
+    k.name: k
+    for k in (
+        AggregationKernel(
+            "sum", "all", lambda x: np.sum(x, keepdims=True).reshape(1, 1), np.add
+        ),
+        AggregationKernel(
+            "rowSum", "row", lambda x: np.sum(x, axis=1, keepdims=True), np.add
+        ),
+        AggregationKernel(
+            "colSum", "col", lambda x: np.sum(x, axis=0, keepdims=True), np.add
+        ),
+        AggregationKernel(
+            "min", "all", lambda x: np.min(x, keepdims=True).reshape(1, 1), np.minimum
+        ),
+        AggregationKernel(
+            "max", "all", lambda x: np.max(x, keepdims=True).reshape(1, 1), np.maximum
+        ),
+        AggregationKernel(
+            "rowMax", "row", lambda x: np.max(x, axis=1, keepdims=True), np.maximum
+        ),
+        AggregationKernel(
+            "colMax", "col", lambda x: np.max(x, axis=0, keepdims=True), np.maximum
+        ),
+    )
+}
+
+
+def aggregate(name: str, a: Block) -> Block:
+    """Apply the aggregation kernel *name* to a single block."""
+    kernel = AGGREGATION_KERNELS.get(name)
+    if kernel is None:
+        raise KeyError(f"unknown aggregation kernel {name!r}")
+    return Block(kernel.fn(a.to_numpy()))
+
+
+def aggregate_combine(name: str, a: Block, b: Block) -> Block:
+    """Merge two partial aggregation results for kernel *name*."""
+    kernel = AGGREGATION_KERNELS.get(name)
+    if kernel is None:
+        raise KeyError(f"unknown aggregation kernel {name!r}")
+    return Block(kernel.combine(a.to_numpy(), b.to_numpy()))
+
+
+def aggregate_flops(name: str, a: Block) -> int:
+    if name not in AGGREGATION_KERNELS:
+        raise KeyError(f"unknown aggregation kernel {name!r}")
+    if a.is_sparse:
+        return a.nnz
+    rows, cols = a.shape
+    return rows * cols
+
+
+# ---------------------------------------------------------------------------
+# matrix multiplication and SDDMM
+# ---------------------------------------------------------------------------
+
+
+def matmul(a: Block, b: Block) -> Block:
+    """Binary-aggregation kernel ``ba(x)`` on two blocks."""
+    if a.shape[1] != b.shape[0]:
+        raise MatrixShapeError(
+            f"cannot multiply {a.shape} by {b.shape}: inner dimensions differ"
+        )
+    result = a.data @ b.data
+    if sp.issparse(result):
+        return Block(result.tocsr())
+    return Block(np.asarray(result))
+
+
+def matmul_flops(a: Block, b: Block) -> int:
+    """Multiply-add count for a block multiplication, sparsity-aware."""
+    if a.shape[1] != b.shape[0]:
+        raise MatrixShapeError(
+            f"cannot multiply {a.shape} by {b.shape}: inner dimensions differ"
+        )
+    n = b.shape[1]
+    if a.is_sparse:
+        return 2 * a.nnz * n
+    if b.is_sparse:
+        return 2 * b.nnz * a.shape[0]
+    m, k = a.shape
+    return 2 * m * k * n
+
+
+def sddmm(mask: Block, a: Block, b: Block) -> Block:
+    """Sampled dense-dense matrix multiplication.
+
+    Computes ``(a @ b)`` only at the non-zero positions of the sparse *mask*
+    and returns a CSR block with those values — the kernel behind the paper's
+    sparsity exploitation (Figure 1(a) / Outer fusion): for ``(U x V) * X``
+    only the cells where ``X`` is non-zero are ever computed.
+    """
+    if not mask.is_sparse:
+        raise SparsityError("sddmm mask must be a sparse block")
+    if a.shape[1] != b.shape[0]:
+        raise MatrixShapeError(
+            f"cannot multiply {a.shape} by {b.shape}: inner dimensions differ"
+        )
+    if mask.shape != (a.shape[0], b.shape[1]):
+        raise MatrixShapeError(
+            f"mask shape {mask.shape} does not match product shape "
+            f"{(a.shape[0], b.shape[1])}"
+        )
+    csr = mask.data
+    rows, cols = csr.nonzero()
+    if rows.size == 0:
+        return Block(sp.csr_matrix(mask.shape, dtype=np.float64))
+    dense_a = a.to_numpy()
+    dense_b = b.to_numpy()
+    values = np.einsum("ij,ji->i", dense_a[rows, :], dense_b[:, cols])
+    result = sp.csr_matrix((values, (rows, cols)), shape=mask.shape)
+    return Block(result)
+
+
+def sddmm_flops(mask: Block, a: Block, b: Block) -> int:
+    """Multiply-add count for SDDMM: ``2 * nnz(mask) * K``."""
+    return 2 * mask.nnz * a.shape[1]

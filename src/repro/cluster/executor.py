@@ -1,0 +1,122 @@
+"""The simulated cluster: stages, tasks and run-wide accounting.
+
+Operators interact with the cluster through :class:`Stage`::
+
+    with cluster.stage("cfo:consolidate+compute") as stage:
+        for cuboid in partitioning:
+            task = stage.task()
+            task.receive(block)           # consolidation transfer
+            ... run kernels ...
+            task.add_flops(...)
+            task.hold_output(out_block)
+
+Closing the stage computes its modeled elapsed time from the paper's Eq. 2
+(see :mod:`repro.cluster.simulation`), records a
+:class:`~repro.cluster.metrics.StageRecord`, and enforces the simulated-time
+timeout (the paper's 12-hour ``T.O.``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import EngineConfig
+from repro.cluster.metrics import MetricsCollector, StageRecord
+from repro.cluster.simulation import stage_seconds
+from repro.cluster.task import TaskContext
+from repro.errors import SimulatedTimeoutError
+
+
+class Stage:
+    """One set of parallel tasks; a context manager that records itself."""
+
+    def __init__(self, cluster: "SimulatedCluster", name: str):
+        self._cluster = cluster
+        self.name = name
+        self.tasks: list[TaskContext] = []
+        self._closed = False
+
+    def task(self) -> TaskContext:
+        """Allocate the next task of this stage."""
+        if self._closed:
+            raise RuntimeError(f"stage {self.name!r} is already closed")
+        task_id = f"{self.name}#{len(self.tasks)}"
+        ctx = TaskContext(task_id, self._cluster.config.cluster.task_memory_budget)
+        self.tasks.append(ctx)
+        return ctx
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "Stage":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True  # abandon accounting on error
+
+    def close(self) -> StageRecord:
+        """Finalize: compute modeled time, record metrics, check timeout."""
+        if self._closed:
+            raise RuntimeError(f"stage {self.name!r} is already closed")
+        self._closed = True
+        consolidation = sum(t.consolidation_bytes for t in self.tasks)
+        aggregation = sum(t.aggregation_bytes for t in self.tasks)
+        flops = sum(t.flops for t in self.tasks)
+        peak = max((t.peak_memory for t in self.tasks), default=0)
+        seconds = stage_seconds(
+            self._cluster.config.cluster,
+            num_tasks=len(self.tasks),
+            net_bytes=consolidation + aggregation,
+            flops=flops,
+            overlap=self._cluster.config.overlap_comm_compute,
+        )
+        record = StageRecord(
+            name=self.name,
+            num_tasks=len(self.tasks),
+            consolidation_bytes=consolidation,
+            aggregation_bytes=aggregation,
+            flops=flops,
+            seconds=seconds,
+            peak_task_memory=peak,
+        )
+        self._cluster.metrics.record(record)
+        self._cluster._check_timeout()
+        return record
+
+
+class SimulatedCluster:
+    """The distributed substrate shared by FuseME and every baseline engine."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self.metrics = MetricsCollector()
+
+    @property
+    def total_tasks(self) -> int:
+        """``T``: parallel task slots (``N * Tc``)."""
+        return self.config.cluster.total_tasks
+
+    @property
+    def num_nodes(self) -> int:
+        return self.config.cluster.num_nodes
+
+    def stage(self, name: str) -> Stage:
+        """Open a new stage (use as a context manager)."""
+        return Stage(self, name)
+
+    def reset_metrics(self) -> None:
+        self.metrics.reset()
+
+    def _check_timeout(self) -> None:
+        elapsed = self.metrics.elapsed_seconds
+        if elapsed > self.config.timeout_seconds:
+            raise SimulatedTimeoutError(elapsed, self.config.timeout_seconds)
+
+    def __repr__(self) -> str:
+        c = self.config.cluster
+        return (
+            f"SimulatedCluster(nodes={c.num_nodes}, tasks_per_node="
+            f"{c.tasks_per_node}, theta_t={c.task_memory_budget})"
+        )

@@ -1,0 +1,103 @@
+"""Execution metrics: the numbers every figure in the paper reports.
+
+A :class:`MetricsCollector` accumulates per-stage records and exposes the two
+headline series of the evaluation: *communication cost* (bytes moved in the
+consolidation + aggregation steps, Figures 12(e-g), 14(d,h)) and *elapsed
+time* (modeled seconds, Figures 12(a-d,h), 14(a-c,e-g), 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Totals for one executed stage (one wave-set of parallel tasks)."""
+
+    name: str
+    num_tasks: int
+    consolidation_bytes: int
+    aggregation_bytes: int
+    flops: int
+    seconds: float
+    peak_task_memory: int
+
+    @property
+    def comm_bytes(self) -> int:
+        return self.consolidation_bytes + self.aggregation_bytes
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates stage records and running totals for one engine run."""
+
+    stages: list[StageRecord] = field(default_factory=list)
+
+    def record(self, stage: StageRecord) -> None:
+        self.stages.append(stage)
+
+    # -- totals -----------------------------------------------------------
+
+    @property
+    def consolidation_bytes(self) -> int:
+        return sum(s.consolidation_bytes for s in self.stages)
+
+    @property
+    def aggregation_bytes(self) -> int:
+        return sum(s.aggregation_bytes for s in self.stages)
+
+    @property
+    def comm_bytes(self) -> int:
+        """Paper's communication cost: consolidation + aggregation traffic."""
+        return self.consolidation_bytes + self.aggregation_bytes
+
+    @property
+    def flops(self) -> int:
+        return sum(s.flops for s in self.stages)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Modeled end-to-end elapsed time (stages are sequential)."""
+        return sum(s.seconds for s in self.stages)
+
+    @property
+    def peak_task_memory(self) -> int:
+        return max((s.peak_task_memory for s in self.stages), default=0)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(s.num_tasks for s in self.stages)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def reset(self) -> None:
+        self.stages.clear()
+
+    def snapshot(self) -> "MetricsCollector":
+        """An independent copy of the current state."""
+        return MetricsCollector(stages=list(self.stages))
+
+    def diff_since(self, snapshot: "MetricsCollector") -> "MetricsCollector":
+        """Metrics accumulated after *snapshot* was taken."""
+        return MetricsCollector(stages=self.stages[snapshot.num_stages:])
+
+    def __iter__(self) -> Iterator[StageRecord]:
+        return iter(self.stages)
+
+    def summary(self) -> str:
+        from repro.utils.formatting import format_bytes, format_seconds
+
+        return (
+            f"{self.num_stages} stages, {self.num_tasks} tasks, "
+            f"comm={format_bytes(self.comm_bytes)} "
+            f"(consolidation={format_bytes(self.consolidation_bytes)}, "
+            f"aggregation={format_bytes(self.aggregation_bytes)}), "
+            f"flops={self.flops:,}, "
+            f"elapsed={format_seconds(self.elapsed_seconds)}"
+        )

@@ -1,0 +1,46 @@
+"""FuseME core: the paper's primary contribution.
+
+* :mod:`repro.core.plan` — partial fusion plans and fusion plans.
+* :mod:`repro.core.spaces` — the 3-D model space of Section 3.1 (L-, R-, O-,
+  MM-space assignment, including nested spaces for inner matmuls) and the
+  axis tags that map every plan node onto the ``(i, j, k)`` axes.
+* :mod:`repro.core.cuboid` — ``(P, Q, R)`` cuboid partitioning (Section 2.3).
+* :mod:`repro.core.cost` — ``MemEst`` / ``NetEst`` / ``ComEst`` / ``Cost``
+  (Algorithm 1, Eqs. 2-5).
+* :mod:`repro.core.optimizer` — exhaustive and pruned ``(P*, Q*, R*)`` search
+  (Section 3.3, Figure 13(d)).
+* :mod:`repro.core.cfo` — the Cuboid-based Fused Operator (Section 3.2).
+* :mod:`repro.core.cfg` — the Cuboid-based Fusion plan Generator
+  (Algorithms 2 and 3).
+* :mod:`repro.core.engine` — the FuseME engine tying it all together.
+"""
+
+from repro.core.plan import FusionPlan, MultiAggPlan, PartialFusionPlan, PlanUnit
+from repro.core.spaces import AxisKind, SpaceKind, SpaceTree, assign_axis_tags, build_space_tree
+from repro.core.cuboid import CuboidPartitioning, chunk_ranges
+from repro.core.cost import CostModel, PlanCost
+from repro.core.optimizer import OptimizerResult, optimize_parameters
+from repro.core.cfo import CuboidFusedOperator
+from repro.core.cfg import generate_fusion_plan
+from repro.core.engine import FuseMEEngine
+
+__all__ = [
+    "PartialFusionPlan",
+    "FusionPlan",
+    "MultiAggPlan",
+    "PlanUnit",
+    "SpaceKind",
+    "AxisKind",
+    "SpaceTree",
+    "build_space_tree",
+    "assign_axis_tags",
+    "CuboidPartitioning",
+    "chunk_ranges",
+    "CostModel",
+    "PlanCost",
+    "optimize_parameters",
+    "OptimizerResult",
+    "CuboidFusedOperator",
+    "generate_fusion_plan",
+    "FuseMEEngine",
+]

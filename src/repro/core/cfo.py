@@ -1,0 +1,368 @@
+"""The Cuboid-based Fused Operator (Section 3.2).
+
+A CFO executes one partial fusion plan end-to-end on the simulated cluster:
+
+1. **Matrix consolidation** — the MM-space is cut into ``P*Q*R`` cuboids;
+   every task receives slices of the frontier matrices selected by their axis
+   tags (L-space inputs replicated ``Q`` times, R-space ``P`` times, O-space
+   ``R`` times — Eq. 4's traffic emerges from the slicing itself).
+2. **Local operation** — each task evaluates the fused operator chain on its
+   slices with no intermediate materialization; when a sparse mask covers the
+   main product (Outer-style fusion) only the masked cells are computed.
+3. **Matrix aggregation** — when ``R > 1``, partial products shuffle along
+   the k-axis to the owner task ``(p, q, 0)``, which finishes the (possibly
+   non-linear) O-space chain after summation.  When ``R == 1`` this step
+   vanishes, exactly as in CuboidMM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.blocks import Block
+from repro.blocks.kernels import AGGREGATION_KERNELS, aggregate_combine
+from repro.cluster.executor import SimulatedCluster
+from repro.cluster.task import TaskContext, TransferKind
+from repro.config import EngineConfig
+from repro.core.cuboid import CuboidPartitioning
+from repro.core.fused_eval import (
+    SliceEnv,
+    evaluate_masked_slice,
+    evaluate_slice,
+    finish_masked,
+    mask_positions,
+    masked_product,
+)
+from repro.core.optimizer import OptimizerResult, optimize_parameters
+from repro.core.plan import PartialFusionPlan
+from repro.core.spaces import (
+    Axis,
+    AxisKind,
+    SparsityMask,
+    find_sparsity_mask,
+    plan_layout,
+)
+from repro.errors import BlockLayoutError, ExecutionError, PlanError
+from repro.lang.dag import AggNode, InputNode, Node
+from repro.matrix.distributed import BlockedMatrix
+
+#: Engine-level environment: materialized values by node id or input name.
+Env = Mapping[object, BlockedMatrix]
+
+
+class CuboidFusedOperator:
+    """Physical operator executing one partial fusion plan as a CFO."""
+
+    def __init__(
+        self,
+        plan: PartialFusionPlan,
+        config: EngineConfig,
+        pqr: Optional[tuple[int, int, int]] = None,
+        optimizer_method: str = "pruned",
+    ):
+        self.plan = plan
+        self.config = config
+        layout = plan_layout(plan)
+        self.tree = layout.tree
+        self.mm = layout.mm
+        self.tags = layout.tags
+        self.optimizer_result: Optional[OptimizerResult] = None
+        if pqr is None:
+            self.optimizer_result = optimize_parameters(
+                plan, config, tree=self.tree, method=optimizer_method
+            )
+            pqr = self.optimizer_result.pqr
+        extent_i, extent_j, extent_k = self.mm.mm_dims()
+        self.partitioning = CuboidPartitioning(
+            extent_i, extent_j, extent_k, *pqr
+        )
+        self.mask: Optional[SparsityMask] = None
+        if config.sparsity_exploitation:
+            self.mask = find_sparsity_mask(plan, self.mm, self.tree)
+
+    # -- public API -------------------------------------------------------------
+
+    @property
+    def pqr(self) -> tuple[int, int, int]:
+        return self.partitioning.pqr
+
+    def execute(self, cluster: SimulatedCluster, env: Env) -> BlockedMatrix:
+        """Run the CFO and return the materialized plan output."""
+        values = self._resolve_frontier(env)
+        if self.partitioning.r == 1:
+            tiles = self._run_single_pass(cluster, values)
+        else:
+            tiles = self._run_with_aggregation(cluster, values)
+        if isinstance(self.plan.root, AggNode):
+            return self._combine_aggregates(cluster, tiles)
+        return self._assemble_output(tiles)
+
+    # -- frontier resolution -------------------------------------------------------
+
+    def _resolve_frontier(self, env: Env) -> Dict[Node, BlockedMatrix]:
+        values: Dict[Node, BlockedMatrix] = {}
+        for node in self.plan.frontier():
+            value = env.get(node.node_id)
+            if value is None and isinstance(node, InputNode):
+                value = env.get(node.name)
+            if value is None:
+                raise ExecutionError(f"no binding for frontier node {node!r}")
+            if value.shape != node.meta.shape:
+                raise BlockLayoutError(
+                    f"binding for {node!r} has shape {value.shape}, "
+                    f"expected {node.meta.shape}"
+                )
+            if value.block_size != node.meta.block_size:
+                raise BlockLayoutError(
+                    f"binding for {node!r} uses block size {value.block_size}, "
+                    f"expected {node.meta.block_size}"
+                )
+            values[node] = value
+        return values
+
+    # -- slicing ------------------------------------------------------------------------
+
+    def _axis_block_range(
+        self, axis: Axis, p: int, q: int, r: int, grid_extent: int
+    ) -> tuple[int, int]:
+        if axis.kind is AxisKind.I:
+            return self.partitioning.i_ranges()[p]
+        if axis.kind is AxisKind.J:
+            return self.partitioning.j_ranges()[q]
+        if axis.kind is AxisKind.K:
+            return self.partitioning.k_ranges()[r]
+        return (0, grid_extent)
+
+    def _bind_slices(
+        self,
+        values: Dict[Node, BlockedMatrix],
+        task: TaskContext,
+        p: int,
+        q: int,
+        r: int,
+        charge_network: bool = True,
+    ) -> SliceEnv:
+        """Consolidate every frontier slice this cuboid's task needs."""
+        frontier: Dict[tuple[Node, int], Block] = {}
+        received: Dict[tuple[Node, tuple], Block] = {}
+        for edge, tag in self.tags.frontier_tags.items():
+            consumer, index = edge
+            source = consumer.inputs[index]
+            matrix = values[source]
+            grid_rows, grid_cols = matrix.block_grid
+            row_range = self._axis_block_range(tag[0], p, q, r, grid_rows)
+            col_range = self._axis_block_range(tag[1], p, q, r, grid_cols)
+            cache_key = (source, (row_range, col_range))
+            cached = received.get(cache_key)
+            if cached is not None:
+                frontier[edge] = cached
+                continue
+            block = matrix.block_slice(row_range, col_range).as_single_block()
+            if charge_network:
+                task.receive(block)
+            else:
+                task.receive_local(block)
+            received[cache_key] = block
+            frontier[edge] = block
+        return SliceEnv(frontier=frontier)
+
+    # -- execution: R == 1 ---------------------------------------------------------------
+
+    def _run_single_pass(
+        self, cluster: SimulatedCluster, values: Dict[Node, BlockedMatrix]
+    ) -> Dict[tuple[int, int], Block]:
+        tiles: Dict[tuple[int, int], Block] = {}
+        with cluster.stage(f"cfo[{self.pqr}]:compute") as stage:
+            for p, q, r in self.partitioning.cuboids():
+                task = stage.task()
+                env = self._bind_slices(values, task, p, q, r)
+                if self.mask is not None:
+                    tile = evaluate_masked_slice(
+                        self.plan, env, self.mm, self.mask,
+                        self._tile_shape(p, q),
+                    )
+                else:
+                    tile = evaluate_slice(self.plan, env)
+                task.add_flops(env.flops)
+                task.hold_output(tile)
+                tiles[(p, q)] = tile
+        return tiles
+
+    # -- execution: R > 1 ------------------------------------------------------------------
+
+    def _run_with_aggregation(
+        self, cluster: SimulatedCluster, values: Dict[Node, BlockedMatrix]
+    ) -> Dict[tuple[int, int], Block]:
+        partials: Dict[tuple[int, int], list[Block]] = {}
+        with cluster.stage(f"cfo[{self.pqr}]:compute") as stage:
+            for p, q, r in self.partitioning.cuboids():
+                task = stage.task()
+                env = self._bind_slices(values, task, p, q, r)
+                if self.mask is not None:
+                    rows, cols = mask_positions(self.plan, env, self.mask)
+                    partial = masked_product(self.plan, env, self.mm, rows, cols)
+                else:
+                    partial = evaluate_slice(self.plan, env, root=self.mm)
+                task.add_flops(env.flops)
+                task.hold_output(partial)
+                partials.setdefault((p, q), []).append(partial)
+
+        tiles: Dict[tuple[int, int], Block] = {}
+        with cluster.stage(f"cfo[{self.pqr}]:aggregate") as stage:
+            for p in range(self.partitioning.p):
+                for q in range(self.partitioning.q):
+                    task = stage.task()
+                    parts = partials[(p, q)]
+                    # the owner task (p, q, 0) holds its own partial; others
+                    # shuffle theirs over (the matrix aggregation step)
+                    task.receive_local(parts[0])
+                    summed = parts[0]
+                    for part in parts[1:]:
+                        task.receive(part, kind=TransferKind.AGGREGATION)
+                        merged = _add_blocks(summed, part)
+                        task.add_flops(part.nnz if part.is_sparse else
+                                       part.shape[0] * part.shape[1])
+                        # partials merge as they stream in; the consumed
+                        # tiles leave the ledger (only the running sum stays)
+                        task.release(part)
+                        task.release(summed)
+                        task.receive_local(merged)
+                        summed = merged
+                    env = self._bind_slices(
+                        values, task, p, q, 0, charge_network=False
+                    )
+                    env.bind_node(self.mm, summed)
+                    if self.mask is not None:
+                        tile = finish_masked(
+                            self.plan, env, self.mm, self.mask, summed,
+                            self._tile_shape(p, q),
+                        )
+                    else:
+                        tile = evaluate_slice(self.plan, env)
+                    task.add_flops(env.flops)
+                    task.hold_output(tile)
+                    tiles[(p, q)] = tile
+        return tiles
+
+    # -- output handling --------------------------------------------------------------------
+
+    def _axis_element_extent(self, axis: Axis) -> int:
+        if axis.kind is AxisKind.I:
+            return self.mm.inputs[0].meta.rows
+        if axis.kind is AxisKind.J:
+            return self.mm.inputs[1].meta.cols
+        if axis.kind is AxisKind.K:
+            return self.mm.common_dim
+        raise PlanError("plan output cannot live on a private axis")
+
+    def _axis_element_range(self, axis: Axis, p: int, q: int) -> tuple[int, int]:
+        block_size = self.plan.root.meta.block_size
+        if axis.kind is AxisKind.I:
+            b0, b1 = self.partitioning.i_ranges()[p]
+        elif axis.kind is AxisKind.J:
+            b0, b1 = self.partitioning.j_ranges()[q]
+        else:
+            raise PlanError("plan output cannot span the k axis")
+        extent = self._axis_element_extent(axis)
+        return (b0 * block_size, min(b1 * block_size, extent))
+
+    def _root_tag(self) -> tuple[Axis, Axis]:
+        root = self.plan.root
+        if isinstance(root, AggNode):
+            return self.tags.tag_of_operand(root, 0)
+        return self.tags.operator_tags[root]
+
+    def _tile_shape(self, p: int, q: int) -> tuple[int, int]:
+        tag = self._root_tag()
+        r0, r1 = self._axis_element_range(tag[0], p, q)
+        c0, c1 = self._axis_element_range(tag[1], p, q)
+        return (r1 - r0, c1 - c0)
+
+    def _assemble_output(self, tiles: Dict[tuple[int, int], Block]) -> BlockedMatrix:
+        meta = self.plan.root.meta
+        result = BlockedMatrix(meta)
+        tag = self._root_tag()
+        for (p, q), tile in tiles.items():
+            r0, _ = self._axis_element_range(tag[0], p, q)
+            c0, _ = self._axis_element_range(tag[1], p, q)
+            _scatter_tile(result, tile, r0, c0)
+        refreshed = result.refreshed_meta()
+        return BlockedMatrix(refreshed, result.blocks)
+
+    def _combine_aggregates(
+        self, cluster: SimulatedCluster, tiles: Dict[tuple[int, int], Block]
+    ) -> BlockedMatrix:
+        """Final shuffle combining per-task aggregation partials."""
+        root = self.plan.root
+        assert isinstance(root, AggNode)
+        kernel = AGGREGATION_KERNELS[root.kernel]
+        child_tag = self.tags.tag_of_operand(root, 0)
+        meta = root.meta
+        result = BlockedMatrix(meta)
+        with cluster.stage(f"cfo[{self.pqr}]:final-agg") as stage:
+            task = stage.task()
+            groups: Dict[tuple[int, int], Block] = {}
+            for (p, q), tile in sorted(tiles.items()):
+                task.receive(tile, kind=TransferKind.AGGREGATION)
+                key = self._agg_group(kernel.axis, child_tag, p, q)
+                if key in groups:
+                    groups[key] = aggregate_combine(root.kernel, groups[key], tile)
+                    task.add_flops(tile.shape[0] * tile.shape[1])
+                else:
+                    groups[key] = tile
+            for (r_off, c_off), tile in groups.items():
+                task.hold_output(tile)
+                _scatter_tile(result, tile, r_off, c_off)
+        refreshed = result.refreshed_meta()
+        return BlockedMatrix(refreshed, result.blocks)
+
+    def _agg_group(
+        self, axis: str, child_tag: tuple[Axis, Axis], p: int, q: int
+    ) -> tuple[int, int]:
+        """Output element offsets a partial aggregate lands at."""
+        if axis == "all":
+            return (0, 0)
+        if axis == "row":
+            r0, _ = self._axis_element_range(child_tag[0], p, q)
+            return (r0, 0)
+        # axis == "col"
+        c0, _ = self._axis_element_range(child_tag[1], p, q)
+        return (0, c0)
+
+
+def _add_blocks(a: Block, b: Block) -> Block:
+    """Sum two partial-product tiles (sparse-friendly)."""
+    if a.is_sparse and b.is_sparse:
+        return Block((a.data + b.data).tocsr())
+    return Block(a.to_numpy() + b.to_numpy())
+
+
+def _scatter_tile(result: BlockedMatrix, tile: Block, row_off: int, col_off: int) -> None:
+    """Split a task's output tile back into grid blocks of *result*."""
+    meta = result.meta
+    block_size = meta.block_size
+    tile_rows, tile_cols = tile.shape
+    if row_off % block_size or col_off % block_size:
+        raise BlockLayoutError(
+            f"tile offset ({row_off}, {col_off}) not block aligned"
+        )
+    bi0 = row_off // block_size
+    bj0 = col_off // block_size
+    n_bi = -(-tile_rows // block_size)
+    n_bj = -(-tile_cols // block_size)
+    for di in range(n_bi):
+        r0 = di * block_size
+        r1 = min(r0 + block_size, tile_rows)
+        for dj in range(n_bj):
+            c0 = dj * block_size
+            c1 = min(c0 + block_size, tile_cols)
+            piece = tile.slice(slice(r0, r1), slice(c0, c1))
+            if piece.nnz == 0:
+                continue
+            key = (bi0 + di, bj0 + dj)
+            if key in result.blocks:
+                result.blocks[key] = _add_blocks(result.blocks[key], piece)
+            else:
+                result.set_block(key[0], key[1], piece)

@@ -1,0 +1,74 @@
+"""The FuseME engine: CFG planning + CFO execution (Section 5).
+
+``FuseMEEngine`` wires the pieces together the way the paper's implementation
+does on Spark: the query DAG is simplified, CFG generates a fusion plan whose
+fused units run as CFOs (Cell-fused operators for matmul-free chains), and
+everything executes on the simulated cluster with full cost accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.cluster.executor import SimulatedCluster
+from repro.config import EngineConfig
+from repro.core.cfg import ExploitationReport, generate_fusion_plan
+from repro.core.cfo import CuboidFusedOperator
+from repro.core.plan import FusionPlan, MultiAggPlan, PlanUnit
+from repro.execution import Engine, ExecutionResult, Query, as_dag
+from repro.lang.dag import DAG
+from repro.lang.rewrites import refresh_leaf_metas, simplify_dag
+from repro.matrix.distributed import BlockedMatrix
+from repro.operators.cell import FusedCellOperator
+from repro.operators.multi_agg import MultiAggregationOperator
+
+
+class FuseMEEngine(Engine):
+    """The paper's system: cuboid-based fusion plan generation + CFOs."""
+
+    name = "FuseME"
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        optimizer_method: str = "pruned",
+    ):
+        super().__init__(config)
+        self.optimizer_method = optimizer_method
+        self.last_report: Optional[ExploitationReport] = None
+
+    def execute(self, query: Query, inputs, cluster=None) -> ExecutionResult:
+        """Simplify the DAG (double-transpose and scalar-chain cleanups)
+        before planning, then run as usual.  With
+        ``config.refine_input_metas`` the declared leaf densities are also
+        replaced by the bound matrices' measured densities, sharpening the
+        optimizer's size estimates."""
+        dag = simplify_dag(as_dag(query))
+        if self.config.refine_input_metas:
+            metas = {
+                name: matrix.refreshed_meta()
+                for name, matrix in inputs.items()
+            }
+            dag = refresh_leaf_metas(dag, metas)
+        return super().execute(dag, inputs, cluster)
+
+    def plan_query(self, dag: DAG) -> FusionPlan:
+        self.last_report = ExploitationReport()
+        return generate_fusion_plan(dag, self.config, report=self.last_report)
+
+    def run_unit(
+        self,
+        unit: PlanUnit,
+        cluster: SimulatedCluster,
+        env: Mapping[object, BlockedMatrix],
+    ):
+        plan = unit.plan
+        if isinstance(plan, MultiAggPlan):
+            return MultiAggregationOperator(plan, self.config).execute(cluster, env)
+        if plan.contains_matmul:
+            operator = CuboidFusedOperator(
+                plan, self.config, optimizer_method=self.optimizer_method
+            )
+        else:
+            operator = FusedCellOperator(plan, self.config)
+        return operator.execute(cluster, env)

@@ -1,0 +1,197 @@
+"""Finding the optimal ``(P*, Q*, R*)`` (Section 3.3).
+
+Two search strategies are provided:
+
+* ``exhaustive`` — evaluates every ``(P, Q, R)`` in ``[1,I] x [1,J] x [1,K]``
+  (the DistME approach the paper compares against in Figure 13(d));
+* ``pruned`` — the paper's method: candidates that cannot exploit the
+  cluster's parallelism (``P*Q*R < N*Tc``) are skipped, and monotonicity of
+  Net/Com in each parameter prunes dominated regions.  For a fixed ``(Q, R)``
+  the cost grows with ``P`` while memory shrinks, so the best ``P`` is the
+  smallest feasible one — found by binary search; lower bounds on the cost of
+  a whole ``(Q, R)`` or ``R`` slab abandon it without enumeration.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from repro.config import EngineConfig
+from repro.core.cost import CostModel, PlanCost
+from repro.core.plan import PartialFusionPlan
+from repro.core.spaces import SpaceTree, plan_layout
+from repro.errors import OptimizerError
+
+SearchMethod = Literal["pruned", "exhaustive"]
+
+
+@dataclass(frozen=True)
+class OptimizerResult:
+    """Outcome of one parameter search."""
+
+    pqr: tuple[int, int, int]
+    cost: PlanCost
+    evaluations: int
+    elapsed_seconds: float
+    method: SearchMethod
+
+    @property
+    def feasible(self) -> bool:
+        return self.cost.feasible
+
+
+def optimize_parameters(
+    plan: PartialFusionPlan,
+    config: EngineConfig,
+    tree: Optional[SpaceTree] = None,
+    method: SearchMethod = "pruned",
+) -> OptimizerResult:
+    """Find ``(P*, Q*, R*)`` for *plan*.
+
+    When no feasible parameters exist (the plan cannot fit the per-task
+    budget even fully partitioned), the result carries the maximal
+    partitioning ``(I, J, K)`` with an infinite cost — Algorithm 3 treats
+    this as "must split".
+    """
+    if tree is None:
+        tree = plan_layout(plan).tree
+    extent_i, extent_j, extent_k = tree.mm.mm_dims()
+    model = CostModel(config)
+    started = time.perf_counter()
+
+    if method == "exhaustive":
+        best, evaluations = _exhaustive(
+            plan, tree, model, extent_i, extent_j, extent_k, config
+        )
+    elif method == "pruned":
+        best, evaluations = _pruned(
+            plan, tree, model, extent_i, extent_j, extent_k, config
+        )
+    else:
+        raise OptimizerError(f"unknown search method {method!r}")
+
+    elapsed = time.perf_counter() - started
+    if best is None:
+        # infeasible even at full partitioning: report (I, J, K) with inf cost
+        best = model.evaluate(plan, tree, (extent_i, extent_j, extent_k))
+    return OptimizerResult(
+        pqr=best.pqr,
+        cost=best,
+        evaluations=evaluations,
+        elapsed_seconds=elapsed,
+        method=method,
+    )
+
+
+def _exhaustive(
+    plan: PartialFusionPlan,
+    tree: SpaceTree,
+    model: CostModel,
+    extent_i: int,
+    extent_j: int,
+    extent_k: int,
+    config: EngineConfig,
+) -> tuple[Optional[PlanCost], int]:
+    # The parallelism constraint P*Q*R >= N*Tc is part of the search space
+    # for both methods (a stage with fewer tasks cannot use the cluster).
+    min_tasks = min(config.cluster.total_tasks, extent_i * extent_j * extent_k)
+    best: Optional[PlanCost] = None
+    evaluations = 0
+    for p in range(1, extent_i + 1):
+        for q in range(1, extent_j + 1):
+            for r in range(1, extent_k + 1):
+                evaluations += 1
+                if p * q * r < min_tasks:
+                    continue
+                cost = model.evaluate(plan, tree, (p, q, r))
+                if cost.feasible and (best is None or cost < best):
+                    best = cost
+    return best, evaluations
+
+
+def _pruned(
+    plan: PartialFusionPlan,
+    tree: SpaceTree,
+    model: CostModel,
+    extent_i: int,
+    extent_j: int,
+    extent_k: int,
+    config: EngineConfig,
+) -> tuple[Optional[PlanCost], int]:
+    slots = config.cluster.total_tasks
+    voxels = extent_i * extent_j * extent_k
+    evaluations = 0
+
+    if voxels < slots:
+        # Cannot exploit full parallelism anyway: use the maximal parameters
+        # (the paper: "we set the parameters to the ones as large as possible").
+        cost = model.evaluate(plan, tree, (extent_i, extent_j, extent_k))
+        return (cost if cost.feasible else None), 1
+
+    best: Optional[PlanCost] = None
+    for r in range(1, extent_k + 1):
+        # lower bound for this whole r-slab: the cheapest conceivable (p=1,q=1)
+        bound = _raw_cost(model, tree, (1, 1, r))
+        evaluations += 1
+        if best is not None and bound >= best.cost_seconds:
+            break  # Net/Com grow with r; later slabs only get worse
+        for q in range(1, extent_j + 1):
+            qr_bound = _raw_cost(model, tree, (1, q, r))
+            evaluations += 1
+            if best is not None and qr_bound >= best.cost_seconds:
+                break  # cost grows with q at fixed r
+            p_floor = max(1, math.ceil(slots / (q * r)))
+            if p_floor > extent_i:
+                continue
+            p_best = _smallest_feasible_p(
+                plan, tree, model, p_floor, extent_i, q, r
+            )
+            if p_best is None:
+                continue
+            cost = model.evaluate(plan, tree, (p_best, q, r))
+            evaluations += 2 + int(math.log2(max(1, extent_i - p_floor + 1)))
+            if cost.feasible and (best is None or cost < best):
+                best = cost
+    return best, evaluations
+
+
+def _raw_cost(model: CostModel, tree: SpaceTree, pqr: tuple[int, int, int]) -> float:
+    """Eq. 2 cost ignoring memory feasibility (used for pruning bounds)."""
+    cluster = model.config.cluster
+    net_time = model.net_est(tree, pqr) / (cluster.num_nodes * cluster.network_bandwidth)
+    com_time = model.com_est(tree, pqr) / (cluster.num_nodes * cluster.compute_bandwidth)
+    if model.config.overlap_comm_compute:
+        return max(net_time, com_time)
+    return net_time + com_time
+
+
+def _smallest_feasible_p(
+    plan: PartialFusionPlan,
+    tree: SpaceTree,
+    model: CostModel,
+    p_floor: int,
+    p_ceil: int,
+    q: int,
+    r: int,
+) -> Optional[int]:
+    """Binary search the smallest memory-feasible P in ``[p_floor, p_ceil]``.
+
+    Per-task memory is non-increasing in P (Eq. 3 divides by ``P*R`` and
+    ``P*Q``), while Net/Com are non-decreasing (Eq. 4-5 multiply R-space
+    contributions by P), so the smallest feasible P is optimal for a fixed
+    ``(Q, R)``.
+    """
+    budget = model.config.cluster.task_memory_budget
+    if model.mem_est(plan, tree, (p_ceil, q, r)) > budget:
+        return None
+    lo, hi = p_floor, p_ceil
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if model.mem_est(plan, tree, (mid, q, r)) <= budget:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

@@ -1,0 +1,32 @@
+"""Dataset builders for the paper's evaluation.
+
+* :mod:`repro.datasets.synthetic` — the three synthetic regimes of Table 3:
+  matrices varying two large dimensions, a common large dimension, and
+  density.
+* :mod:`repro.datasets.real` — synthetic stand-ins with the statistics of
+  Table 2's real datasets (MovieLens, Netflix, YahooMusic), scaled by a
+  configurable factor (we do not ship the proprietary rating data; GNMF's
+  cost behaviour depends only on shape and density, which are preserved).
+"""
+
+from repro.datasets.synthetic import (
+    SyntheticCase,
+    common_dimension_cases,
+    density_cases,
+    density_skewed_matrix,
+    nmf_inputs,
+    two_large_dimension_cases,
+)
+from repro.datasets.real import REAL_DATASETS, RealDatasetSpec, load_real_dataset
+
+__all__ = [
+    "SyntheticCase",
+    "two_large_dimension_cases",
+    "common_dimension_cases",
+    "density_cases",
+    "density_skewed_matrix",
+    "nmf_inputs",
+    "RealDatasetSpec",
+    "REAL_DATASETS",
+    "load_real_dataset",
+]

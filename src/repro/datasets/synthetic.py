@@ -1,0 +1,125 @@
+"""Synthetic dataset regimes of Section 6.2 / Table 3.
+
+The paper evaluates the ``X * log(U x V^T + eps)`` query on three families of
+uniformly random matrices:
+
+* **two large dimensions** — ``n x 2K x n`` with very sparse ``X``
+  (density 0.001), ``n`` in {100K, 250K, 500K, 750K};
+* **a common large dimension** — ``100K x n x 100K`` with denser ``X``
+  (0.2), ``n`` in {2K, 5K, 10K, 50K};
+* **density** — ``100K x 2K x 100K`` with density in {0.05, 0.1, 0.5, 1.0}.
+
+A :class:`SyntheticCase` keeps the paper's dimensions and a scaled-down
+version of them (``scale`` divides each dimension) so the benchmark tables
+can print both.  Dimensions here follow the paper's ``I x K x J`` ordering:
+``X`` is ``I x J``, ``U`` is ``I x K``, ``V`` is ``J x K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DEFAULT_BLOCK_SIZE
+from repro.errors import DataError
+from repro.matrix.distributed import BlockedMatrix
+from repro.matrix.generators import rand_dense, rand_sparse
+
+
+@dataclass(frozen=True)
+class SyntheticCase:
+    """One row of Table 3 (scaled)."""
+
+    label: str
+    paper_rows: int
+    paper_common: int
+    paper_cols: int
+    density: float
+    scale: int
+
+    @property
+    def rows(self) -> int:
+        return max(self.paper_rows // self.scale, 1)
+
+    @property
+    def common(self) -> int:
+        return max(self.paper_common // self.scale, 1)
+
+    @property
+    def cols(self) -> int:
+        return max(self.paper_cols // self.scale, 1)
+
+def two_large_dimension_cases(scale: int = 2500) -> list[SyntheticCase]:
+    """``n x 2K x n`` at density 0.001 for n in {100K, 250K, 500K, 750K}."""
+    return [
+        SyntheticCase(f"n={n // 1000}K", n, 2_000, n, 0.001, scale)
+        for n in (100_000, 250_000, 500_000, 750_000)
+    ]
+
+
+def common_dimension_cases(scale: int = 2500) -> list[SyntheticCase]:
+    """``100K x n x 100K`` at density 0.2 for n in {2K, 5K, 10K, 50K}."""
+    return [
+        SyntheticCase(f"n={n // 1000}K", 100_000, n, 100_000, 0.2, scale)
+        for n in (2_000, 5_000, 10_000, 50_000)
+    ]
+
+
+def density_cases(scale: int = 2500) -> list[SyntheticCase]:
+    """``100K x 2K x 100K`` at densities {0.05, 0.1, 0.5, 1.0}."""
+    return [
+        SyntheticCase(f"d={d}", 100_000, 2_000, 100_000, d, scale)
+        for d in (0.05, 0.1, 0.5, 1.0)
+    ]
+
+
+def nmf_inputs(
+    case: SyntheticCase,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    seed: int = 0,
+) -> dict[str, BlockedMatrix]:
+    """Materialize ``X``, ``U``, ``V`` for one synthetic case."""
+    rows = _blocks_up(case.rows, block_size)
+    cols = _blocks_up(case.cols, block_size)
+    common = _blocks_up(case.common, block_size)
+    return {
+        "X": rand_sparse(rows, cols, case.density, block_size, seed=seed),
+        "U": rand_dense(rows, common, block_size, seed=seed + 1),
+        "V": rand_dense(cols, common, block_size, seed=seed + 2),
+    }
+
+
+def _blocks_up(value: int, block_size: int) -> int:
+    """Round a scaled dimension up to a whole number of blocks."""
+    if value <= 0:
+        raise DataError(f"dimension must be positive, got {value}")
+    return max(block_size, (value + block_size - 1) // block_size * block_size)
+
+
+def density_skewed_matrix(
+    rows: int,
+    cols: int,
+    dense_fraction: float,
+    dense_density: float,
+    sparse_density: float,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    seed: int = 0,
+) -> BlockedMatrix:
+    """A matrix whose first rows are much denser than the rest.
+
+    Used by the load-balancing failure-injection tests: the paper's future
+    work notes that skewed cuboid sparsity hurts balance — this generator
+    creates exactly that skew.
+    """
+    if not 0.0 < dense_fraction < 1.0:
+        raise DataError("dense_fraction must be in (0, 1)")
+    split = max(1, int(rows * dense_fraction))
+    top = rand_sparse(split, cols, dense_density, block_size, seed=seed)
+    bottom = rand_sparse(rows - split, cols, sparse_density, block_size, seed=seed + 1)
+    merged = np.zeros((rows, cols))
+    merged[:split] = top.to_numpy()
+    merged[split:] = bottom.to_numpy()
+    from repro.matrix.generators import from_numpy
+
+    return from_numpy(merged, block_size)

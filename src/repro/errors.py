@@ -1,0 +1,78 @@
+"""Exception hierarchy for the FuseME reproduction.
+
+Every error raised by the engine derives from :class:`ReproError`, so callers
+can catch a single base class.  The distributed substrate raises
+:class:`TaskOutOfMemoryError` when a task's memory ledger exceeds the
+configured budget, mirroring the O.O.M. failures the paper reports for BFO and
+MatFast, and :class:`SimulatedTimeoutError` mirroring the paper's 12-hour
+``T.O.`` entries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MatrixShapeError(ReproError, ValueError):
+    """Two matrices have incompatible shapes for the requested operator."""
+
+
+class BlockLayoutError(ReproError, ValueError):
+    """Two blocked matrices have incompatible block grids or block sizes."""
+
+
+class SparsityError(ReproError, ValueError):
+    """An operation required a sparse (or dense) block and got the other."""
+
+
+class PlanError(ReproError, RuntimeError):
+    """A fusion plan is malformed (cycle, dangling edge, missing input)."""
+
+
+class OptimizerError(ReproError, RuntimeError):
+    """The (P, Q, R) optimizer could not find feasible parameters."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A distributed operator failed while executing on the cluster."""
+
+
+class TaskOutOfMemoryError(ExecutionError):
+    """A simulated task exceeded the per-task memory budget ``theta_t``.
+
+    Attributes
+    ----------
+    task_id:
+        Identifier of the failing task.
+    used_bytes:
+        Bytes the task attempted to hold.
+    budget_bytes:
+        Configured per-task budget.
+    """
+
+    def __init__(self, task_id: str, used_bytes: int, budget_bytes: int):
+        self.task_id = task_id
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes
+        super().__init__(
+            f"task {task_id} out of memory: needs {used_bytes} bytes, "
+            f"budget is {budget_bytes} bytes"
+        )
+
+
+class SimulatedTimeoutError(ExecutionError):
+    """Modeled elapsed time exceeded the configured timeout (paper: 12 h)."""
+
+    def __init__(self, elapsed_seconds: float, timeout_seconds: float):
+        self.elapsed_seconds = elapsed_seconds
+        self.timeout_seconds = timeout_seconds
+        super().__init__(
+            f"simulated time {elapsed_seconds:.1f}s exceeded the "
+            f"timeout of {timeout_seconds:.1f}s"
+        )
+
+
+class DataError(ReproError, ValueError):
+    """A dataset file or generator received invalid parameters."""

@@ -1,0 +1,150 @@
+"""Shared engine skeleton.
+
+Every engine in this repository — FuseME and the four baselines — executes a
+query the same way: plan the DAG into units, then run the units in dependency
+order on the simulated cluster, materializing each unit's output.  Engines
+differ only in *how they plan* (which operators fuse) and *which physical
+operator runs a unit* — exactly the axes the paper's evaluation compares.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from repro.cluster.executor import SimulatedCluster
+from repro.cluster.metrics import MetricsCollector
+from repro.config import EngineConfig
+from repro.core.plan import FusionPlan, PlanUnit
+from repro.errors import PlanError
+from repro.lang.builder import Expr
+from repro.lang.dag import DAG, Node
+from repro.matrix.distributed import BlockedMatrix
+
+Query = Union[DAG, Expr, Sequence[Expr]]
+
+
+def as_dag(query: Query) -> DAG:
+    """Normalize a query (expression, list of expressions, or DAG) to a DAG."""
+    if isinstance(query, DAG):
+        return query
+    if isinstance(query, Expr):
+        return DAG(query.node)
+    return DAG([e.node for e in query])
+
+
+@dataclass
+class ExecutionResult:
+    """Materialized outputs plus everything measured along the way."""
+
+    outputs: Dict[Node, BlockedMatrix]
+    metrics: MetricsCollector
+    fusion_plan: Optional[FusionPlan]
+    dag: Optional[DAG] = None
+
+    def __post_init__(self) -> None:
+        if self.dag is None and self.fusion_plan is not None:
+            self.dag = self.fusion_plan.dag
+
+    def output(self, index: int = 0) -> BlockedMatrix:
+        """The *index*-th root's result (most queries have one root)."""
+        assert self.dag is not None
+        roots = list(self.dag.roots)
+        return self.outputs[roots[index]]
+
+    @property
+    def comm_bytes(self) -> int:
+        return self.metrics.comm_bytes
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.metrics.elapsed_seconds
+
+
+class Engine(ABC):
+    """Base class: plan a DAG, then execute its units on the cluster."""
+
+    #: Human-readable engine name (appears in benchmark tables).
+    name: str = "engine"
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+
+    # -- subclass hooks --------------------------------------------------------
+
+    @abstractmethod
+    def plan_query(self, dag: DAG) -> FusionPlan:
+        """Decide which operators fuse and which run alone."""
+
+    @abstractmethod
+    def run_unit(
+        self,
+        unit: PlanUnit,
+        cluster: SimulatedCluster,
+        env: Mapping[object, BlockedMatrix],
+    ) -> Union[BlockedMatrix, Dict[Node, BlockedMatrix]]:
+        """Execute one plan unit and return its materialized output.
+
+        Multi-output units (Multi-aggregation fusion) return a mapping from
+        root node to its materialized matrix instead of a single matrix.
+        """
+
+    # -- driver ---------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Query,
+        inputs: Mapping[str, BlockedMatrix],
+        cluster: Optional[SimulatedCluster] = None,
+    ) -> ExecutionResult:
+        """Plan and run *query* against named input matrices."""
+        dag = as_dag(query)
+        dag.validate_inputs(inputs.keys())
+        self._check_bindings(dag, inputs)
+        fusion_plan = self.plan_query(dag)
+        if cluster is None:
+            cluster = SimulatedCluster(self.config)
+        env: Dict[object, BlockedMatrix] = dict(inputs)
+        for unit in fusion_plan:
+            result = self.run_unit(unit, cluster, env)
+            if isinstance(result, dict):
+                # multi-output unit (Multi-aggregation fusion)
+                for node, value in result.items():
+                    env[node.node_id] = value
+            else:
+                env[unit.output.node_id] = result
+        outputs = {root: self._root_value(root, env) for root in dag.roots}
+        return ExecutionResult(
+            outputs=outputs,
+            metrics=cluster.metrics,
+            fusion_plan=fusion_plan,
+        )
+
+    @staticmethod
+    def _root_value(root: Node, env: Mapping[object, BlockedMatrix]) -> BlockedMatrix:
+        value = env.get(root.node_id)
+        if value is None:
+            # a root that is itself an input matrix
+            name = getattr(root, "name", None)
+            if name is not None and name in env:
+                return env[name]
+            raise PlanError(f"no value produced for root {root!r}")
+        return value
+
+    @staticmethod
+    def _check_bindings(dag: DAG, inputs: Mapping[str, BlockedMatrix]) -> None:
+        for leaf in dag.inputs():
+            value = inputs.get(leaf.name)
+            if value is None:
+                continue  # validate_inputs already reported missing names
+            if value.shape != leaf.meta.shape:
+                raise PlanError(
+                    f"input {leaf.name!r} has shape {value.shape}, the query "
+                    f"declared {leaf.meta.shape}"
+                )
+            if value.block_size != leaf.meta.block_size:
+                raise PlanError(
+                    f"input {leaf.name!r} uses block size {value.block_size}, "
+                    f"the query declared {leaf.meta.block_size}"
+                )

@@ -1,0 +1,71 @@
+"""Matrix expression language: lazy DAG construction and a local interpreter.
+
+Users (and the workload modules) build queries with an overloaded expression
+API — ``X * U / V``, ``X @ V.T``, ``log(E + eps)``, ``sum(E)`` — producing a
+DAG of the paper's five basic operator types (Section 2.1): unary, binary,
+unary aggregation, binary aggregation (matrix multiplication) and
+reorganization (transpose).  The DAG is what fusion plan generators (GEN and
+CFG) consume, and the numpy reference interpreter provides single-node ground
+truth every distributed execution is checked against in the tests.
+"""
+
+from repro.lang.ops import OpType
+from repro.lang.dag import (
+    DAG,
+    AggNode,
+    BinaryNode,
+    InputNode,
+    MatMulNode,
+    Node,
+    TransposeNode,
+    UnaryNode,
+)
+from repro.lang.builder import (
+    Expr,
+    colsum,
+    exp,
+    log,
+    matrix_input,
+    max_of,
+    min_of,
+    nnz_mask,
+    pow_of,
+    rowsum,
+    sigmoid,
+    sq,
+    sqrt,
+    sum_of,
+)
+from repro.lang.interpreter import evaluate, evaluate_many
+from repro.lang.parser import parse_expression
+from repro.lang.rewrites import simplify_dag
+
+__all__ = [
+    "OpType",
+    "Node",
+    "InputNode",
+    "UnaryNode",
+    "BinaryNode",
+    "AggNode",
+    "MatMulNode",
+    "TransposeNode",
+    "DAG",
+    "Expr",
+    "matrix_input",
+    "log",
+    "exp",
+    "sigmoid",
+    "sq",
+    "sqrt",
+    "pow_of",
+    "nnz_mask",
+    "sum_of",
+    "rowsum",
+    "colsum",
+    "min_of",
+    "max_of",
+    "evaluate",
+    "evaluate_many",
+    "simplify_dag",
+    "parse_expression",
+]

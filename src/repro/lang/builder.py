@@ -1,0 +1,214 @@
+"""The user-facing expression API.
+
+``Expr`` wraps a DAG node and overloads Python operators so queries read like
+the paper's formulas::
+
+    X = matrix_input("X", rows, cols, density=0.001)
+    U = matrix_input("U", rows, k)
+    V = matrix_input("V", cols, k)
+    loss = sum_of(nnz_mask(X) * sq(X - U @ V.T))      # Figure 1(a)
+
+Every helper returns a new ``Expr``; nothing is computed until an engine
+executes the DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.config import DEFAULT_BLOCK_SIZE
+from repro.lang.dag import (
+    AggNode,
+    BinaryNode,
+    InputNode,
+    MatMulNode,
+    Node,
+    TransposeNode,
+    UnaryNode,
+)
+from repro.matrix.meta import MatrixMeta
+
+Scalar = Union[int, float]
+Operand = Union["Expr", Scalar]
+
+
+class Expr:
+    """A lazily-built matrix expression (wrapper around a DAG node)."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def meta(self) -> MatrixMeta:
+        return self.node.meta
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.node.meta.shape
+
+    @property
+    def T(self) -> "Expr":
+        """Transpose (the reorganization operator ``r(T)``)."""
+        return Expr(TransposeNode(self.node))
+
+    # -- binary element-wise --------------------------------------------------
+
+    def _binary(self, kernel: str, other: Operand, reflected: bool = False) -> "Expr":
+        if isinstance(other, Expr):
+            left, right = (other.node, self.node) if reflected else (self.node, other.node)
+            return Expr(BinaryNode(kernel, left, right))
+        scalar = float(other)
+        if reflected:
+            return Expr(BinaryNode(kernel, None, self.node, scalar=scalar))
+        return Expr(BinaryNode(kernel, self.node, None, scalar=scalar))
+
+    def __add__(self, other: Operand) -> "Expr":
+        return self._binary("add", other)
+
+    def __radd__(self, other: Scalar) -> "Expr":
+        return self._binary("add", other, reflected=True)
+
+    def __sub__(self, other: Operand) -> "Expr":
+        return self._binary("sub", other)
+
+    def __rsub__(self, other: Scalar) -> "Expr":
+        return self._binary("sub", other, reflected=True)
+
+    def __mul__(self, other: Operand) -> "Expr":
+        return self._binary("mul", other)
+
+    def __rmul__(self, other: Scalar) -> "Expr":
+        return self._binary("mul", other, reflected=True)
+
+    def __truediv__(self, other: Operand) -> "Expr":
+        return self._binary("div", other)
+
+    def __rtruediv__(self, other: Scalar) -> "Expr":
+        return self._binary("div", other, reflected=True)
+
+    def __pow__(self, other: Scalar) -> "Expr":
+        if other == 2:
+            return Expr(UnaryNode("sq", self.node))
+        return self._binary("pow", other)
+
+    def __ne__(self, other: Operand) -> "Expr":  # type: ignore[override]
+        return self._binary("neq", other)
+
+    def __gt__(self, other: Operand) -> "Expr":
+        return self._binary("gt", other)
+
+    def __lt__(self, other: Operand) -> "Expr":
+        return self._binary("lt", other)
+
+    def __neg__(self) -> "Expr":
+        return Expr(UnaryNode("neg", self.node))
+
+    def minimum(self, other: Operand) -> "Expr":
+        return self._binary("min", other)
+
+    def maximum(self, other: Operand) -> "Expr":
+        return self._binary("max", other)
+
+    # -- matrix multiplication ---------------------------------------------------
+
+    def __matmul__(self, other: "Expr") -> "Expr":
+        if not isinstance(other, Expr):
+            raise TypeError("matrix multiplication needs a matrix operand")
+        return Expr(MatMulNode(self.node, other.node))
+
+    # -- hashability (Expr overrides __ne__, so define identity hash) ------------
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Expr({self.node!r})"
+
+
+def matrix_input(
+    name: str,
+    rows: int,
+    cols: int,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    density: float = 1.0,
+    meta: Optional[MatrixMeta] = None,
+) -> Expr:
+    """Declare a named input matrix leaf.
+
+    Either pass dimensions (plus optional density), or a full ``meta``.
+    """
+    if meta is None:
+        meta = MatrixMeta(rows, cols, block_size, density)
+    return Expr(InputNode(name, meta))
+
+
+# -- unary helpers ------------------------------------------------------------
+
+
+def _unary(kernel: str, x: Expr) -> Expr:
+    return Expr(UnaryNode(kernel, x.node))
+
+
+def log(x: Expr) -> Expr:
+    """Element-wise natural logarithm ``u(log)``."""
+    return _unary("log", x)
+
+
+def exp(x: Expr) -> Expr:
+    return _unary("exp", x)
+
+
+def sigmoid(x: Expr) -> Expr:
+    return _unary("sigmoid", x)
+
+
+def sq(x: Expr) -> Expr:
+    """Element-wise square ``u(^2)``."""
+    return _unary("sq", x)
+
+
+def sqrt(x: Expr) -> Expr:
+    return _unary("sqrt", x)
+
+
+def pow_of(x: Expr, exponent: Scalar) -> Expr:
+    return x ** exponent
+
+
+def nnz_mask(x: Expr) -> Expr:
+    """The paper's ``(X != 0)`` indicator matrix."""
+    return x != 0.0
+
+
+# -- aggregations ---------------------------------------------------------------
+
+
+def _agg(kernel: str, x: Expr) -> Expr:
+    return Expr(AggNode(kernel, x.node))
+
+
+def sum_of(x: Expr) -> Expr:
+    """Full-matrix sum ``ua(sum)`` (1x1 result)."""
+    return _agg("sum", x)
+
+
+def rowsum(x: Expr) -> Expr:
+    """Per-row sums ``ua(rowSum)`` (Ix1 result)."""
+    return _agg("rowSum", x)
+
+
+def colsum(x: Expr) -> Expr:
+    """Per-column sums ``ua(colSum)`` (1xJ result)."""
+    return _agg("colSum", x)
+
+
+def min_of(x: Expr) -> Expr:
+    return _agg("min", x)
+
+
+def max_of(x: Expr) -> Expr:
+    return _agg("max", x)

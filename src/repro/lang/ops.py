@@ -1,0 +1,35 @@
+"""Operator taxonomy: the five basic matrix operator types of Section 2.1."""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpType(enum.Enum):
+    """The paper's basic matrix operator types, plus the leaf input type.
+
+    * ``UNARY`` — element-wise function of one matrix (``log``, ``sq``, ...).
+    * ``BINARY`` — element-wise function of two matrices, or a matrix and a
+      scalar (``*``, ``+``, ``-``, ``/``, ``!=``).
+    * ``UNARY_AGG`` — aggregation of one matrix (``sum``, ``rowSum``,
+      ``colSum``); output dimensions differ from the input's.
+    * ``MATMUL`` — the binary aggregation operator ``ba(x)``: arithmetic plus
+      aggregation over the common dimension ``K``.
+    * ``TRANSPOSE`` — the reorganization operator ``r(T)``.
+    * ``INPUT`` — a leaf: a named input matrix.
+    """
+
+    INPUT = "input"
+    UNARY = "unary"
+    BINARY = "binary"
+    UNARY_AGG = "unary_agg"
+    MATMUL = "matmul"
+    TRANSPOSE = "transpose"
+
+
+#: Operator types that keep the element grid aligned with their input —
+#: everything except binary aggregation (matmul) lives "along the same
+#: dimension" in the paper's 3-D model space (Figure 5(a)).
+DIMENSION_PRESERVING = frozenset(
+    {OpType.UNARY, OpType.BINARY}
+)

@@ -1,0 +1,221 @@
+"""The blocked matrix: a grid of dense/sparse tiles.
+
+``BlockedMatrix`` mirrors the paper's representation of a matrix as an RDD of
+``((i, j), block)`` records.  Keys missing from :attr:`BlockedMatrix.blocks`
+denote all-zero tiles, so a 0.1%-dense rating matrix does not allocate its
+empty regions — this is also what drives the paper's observation that a very
+sparse ``X`` repartitions into few partitions (Section 6.2, overall analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.blocks.block import Block
+from repro.errors import BlockLayoutError, MatrixShapeError
+from repro.matrix.meta import MatrixMeta
+
+BlockKey = Tuple[int, int]
+
+
+class BlockedMatrix:
+    """A matrix stored as a grid of blocks.
+
+    Parameters
+    ----------
+    meta:
+        Shape/blocking metadata.
+    blocks:
+        Mapping from ``(block_row, block_col)`` to :class:`Block`.  Missing
+        keys are implicit zero tiles.
+    """
+
+    __slots__ = ("meta", "blocks")
+
+    def __init__(self, meta: MatrixMeta, blocks: Mapping[BlockKey, Block] | None = None):
+        self.meta = meta
+        self.blocks: Dict[BlockKey, Block] = {}
+        if blocks:
+            for key, block in blocks.items():
+                self._validate_block(key, block)
+                self.blocks[key] = block
+
+    def _validate_block(self, key: BlockKey, block: Block) -> None:
+        bi, bj = key
+        expected = self.meta.block_dims(bi, bj)
+        if block.shape != expected:
+            raise BlockLayoutError(
+                f"block {key} has shape {block.shape}, expected {expected} "
+                f"for a {self.meta.rows}x{self.meta.cols} matrix with block "
+                f"size {self.meta.block_size}"
+            )
+
+    # -- basic introspection ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.meta.shape
+
+    @property
+    def block_size(self) -> int:
+        return self.meta.block_size
+
+    @property
+    def block_grid(self) -> tuple[int, int]:
+        return self.meta.block_grid
+
+    @property
+    def nnz(self) -> int:
+        """Exact stored non-zero count."""
+        return sum(block.nnz for block in self.blocks.values())
+
+    @property
+    def density(self) -> float:
+        return self.nnz / self.meta.num_elements
+
+    @property
+    def nbytes(self) -> int:
+        """Actual stored bytes across all tiles."""
+        return sum(block.nbytes for block in self.blocks.values())
+
+    @property
+    def num_stored_blocks(self) -> int:
+        return len(self.blocks)
+
+    def refreshed_meta(self) -> MatrixMeta:
+        """Meta with density recomputed from the actual blocks."""
+        return self.meta.with_density(self.density)
+
+    # -- block access ------------------------------------------------------------
+
+    def get_block(self, bi: int, bj: int) -> Block:
+        """Tile ``(bi, bj)``, materializing an implicit zero tile if absent."""
+        block = self.blocks.get((bi, bj))
+        if block is not None:
+            return block
+        rows, cols = self.meta.block_dims(bi, bj)
+        return Block.zeros(rows, cols, sparse=True)
+
+    def set_block(self, bi: int, bj: int, block: Block) -> None:
+        self._validate_block((bi, bj), block)
+        self.blocks[(bi, bj)] = block
+
+    def iter_blocks(self) -> Iterator[tuple[BlockKey, Block]]:
+        """Iterate stored (non-zero) tiles in key order."""
+        for key in sorted(self.blocks):
+            yield key, self.blocks[key]
+
+    def block_keys(self) -> list[BlockKey]:
+        return sorted(self.blocks)
+
+    # -- structural operations -----------------------------------------------------
+
+    def transpose(self) -> "BlockedMatrix":
+        """Logical transpose: swap grid axes and transpose every tile."""
+        result = BlockedMatrix(self.meta.transposed())
+        for (bi, bj), block in self.blocks.items():
+            result.blocks[(bj, bi)] = block.transpose()
+        return result
+
+    def block_slice(
+        self,
+        row_blocks: tuple[int, int],
+        col_blocks: tuple[int, int],
+    ) -> "BlockedMatrix":
+        """Sub-matrix covering block rows/cols ``[start, stop)``.
+
+        Used when cuboid partitioning assigns a contiguous slab of blocks to a
+        task; block indices in the result are re-based to zero.
+        """
+        r0, r1 = row_blocks
+        c0, c1 = col_blocks
+        grid_rows, grid_cols = self.meta.block_grid
+        if not (0 <= r0 < r1 <= grid_rows and 0 <= c0 < c1 <= grid_cols):
+            raise BlockLayoutError(
+                f"slice rows {row_blocks} cols {col_blocks} outside grid "
+                f"{self.meta.block_grid}"
+            )
+        row_start = r0 * self.block_size
+        row_stop = min(r1 * self.block_size, self.meta.rows)
+        col_start = c0 * self.block_size
+        col_stop = min(c1 * self.block_size, self.meta.cols)
+        meta = MatrixMeta(
+            rows=row_stop - row_start,
+            cols=col_stop - col_start,
+            block_size=self.block_size,
+            density=self.meta.density,
+        )
+        result = BlockedMatrix(meta)
+        for (bi, bj), block in self.blocks.items():
+            if r0 <= bi < r1 and c0 <= bj < c1:
+                result.blocks[(bi - r0, bj - c0)] = block
+        return result
+
+    # -- conversion ------------------------------------------------------------------
+
+    def to_numpy(self) -> np.ndarray:
+        """Materialize the full matrix as a dense ndarray (tests/small data)."""
+        out = np.zeros(self.meta.shape)
+        for (bi, bj), block in self.blocks.items():
+            r0, r1 = self.meta.block_row_range(bi)
+            c0, c1 = self.meta.block_col_range(bj)
+            out[r0:r1, c0:c1] = block.to_numpy()
+        return out
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Materialize as one CSR matrix."""
+        parts = []
+        for (bi, bj), block in self.iter_blocks():
+            r0, _ = self.meta.block_row_range(bi)
+            c0, _ = self.meta.block_col_range(bj)
+            csr = block.to_sparse().data.tocoo()
+            parts.append((csr.row + r0, csr.col + c0, csr.data))
+        if not parts:
+            return sp.csr_matrix(self.meta.shape)
+        rows = np.concatenate([p[0] for p in parts])
+        cols = np.concatenate([p[1] for p in parts])
+        data = np.concatenate([p[2] for p in parts])
+        return sp.csr_matrix((data, (rows, cols)), shape=self.meta.shape)
+
+    def as_single_block(self) -> Block:
+        """Consolidate into one :class:`Block` (a task-local working tile).
+
+        Chooses sparse or dense representation by whichever is smaller, so
+        downstream kernels see the same layout a task would actually hold.
+        """
+        rows, cols = self.meta.shape
+        dense_bytes = rows * cols * 8
+        if not self.blocks:
+            return Block.zeros(rows, cols, sparse=True)
+        if self.nbytes < dense_bytes:
+            return Block(self.to_scipy())
+        return Block(self.to_numpy())
+
+    # -- comparison --------------------------------------------------------------------
+
+    def allclose(self, other: "BlockedMatrix", rtol: float = 1e-8, atol: float = 1e-8) -> bool:
+        if self.shape != other.shape:
+            return False
+        return np.allclose(self.to_numpy(), other.to_numpy(), rtol=rtol, atol=atol)
+
+    def __repr__(self) -> str:
+        rows, cols = self.shape
+        return (
+            f"BlockedMatrix({rows}x{cols}, block_size={self.block_size}, "
+            f"stored_blocks={len(self.blocks)}/{self.meta.num_blocks}, "
+            f"nnz={self.nnz})"
+        )
+
+
+def vstack_metas(top: MatrixMeta, bottom: MatrixMeta) -> MatrixMeta:
+    """Meta of vertically concatenated matrices (used by dataset builders)."""
+    if top.cols != bottom.cols:
+        raise MatrixShapeError("vstack operands must share column count")
+    if top.block_size != bottom.block_size:
+        raise MatrixShapeError("vstack operands must share block size")
+    total = top.rows + bottom.rows
+    density = (top.estimated_nnz + bottom.estimated_nnz) / (total * top.cols)
+    return MatrixMeta(total, top.cols, top.block_size, density)

@@ -1,0 +1,166 @@
+"""Constructors for blocked matrices: conversions and random generators.
+
+Synthetic matrices follow the paper's recipe (Section 6.1): "randomly and
+uniformly distributed non-zero elements", with densities in ``[0, 1]``.
+Generation is per block so even large logical shapes never allocate a full
+dense array when sparse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.blocks.block import Block
+from repro.config import DEFAULT_BLOCK_SIZE
+from repro.errors import DataError
+from repro.matrix.distributed import BlockedMatrix
+from repro.matrix.meta import MatrixMeta
+
+
+def from_numpy(array: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE) -> BlockedMatrix:
+    """Split a dense ndarray into a blocked matrix."""
+    array = np.atleast_2d(np.asarray(array, dtype=np.float64))
+    rows, cols = array.shape
+    nnz = int(np.count_nonzero(array))
+    meta = MatrixMeta(rows, cols, block_size, density=nnz / (rows * cols) if rows * cols else 0.0)
+    result = BlockedMatrix(meta)
+    for bi in range(meta.block_rows):
+        r0, r1 = meta.block_row_range(bi)
+        for bj in range(meta.block_cols):
+            c0, c1 = meta.block_col_range(bj)
+            tile = array[r0:r1, c0:c1]
+            if np.any(tile):
+                result.blocks[(bi, bj)] = Block(tile.copy())
+    return result
+
+
+def from_scipy(matrix: sp.spmatrix, block_size: int = DEFAULT_BLOCK_SIZE) -> BlockedMatrix:
+    """Split a scipy sparse matrix into a blocked matrix of CSR tiles."""
+    csr = sp.csr_matrix(matrix, dtype=np.float64)
+    rows, cols = csr.shape
+    density = csr.nnz / (rows * cols) if rows * cols else 0.0
+    meta = MatrixMeta(rows, cols, block_size, density=density)
+    result = BlockedMatrix(meta)
+    coo = csr.tocoo()
+    block_of_row = coo.row // block_size
+    block_of_col = coo.col // block_size
+    order = np.lexsort((block_of_col, block_of_row))
+    if order.size == 0:
+        return result
+    r, c, v = coo.row[order], coo.col[order], coo.data[order]
+    br, bc = block_of_row[order], block_of_col[order]
+    bounds = np.flatnonzero(np.diff(br * meta.block_cols + bc)) + 1
+    for chunk_r, chunk_c, chunk_v in zip(
+        np.split(r, bounds), np.split(c, bounds), np.split(v, bounds)
+    ):
+        bi = int(chunk_r[0] // block_size)
+        bj = int(chunk_c[0] // block_size)
+        height, width = meta.block_dims(bi, bj)
+        tile = sp.csr_matrix(
+            (chunk_v, (chunk_r - bi * block_size, chunk_c - bj * block_size)),
+            shape=(height, width),
+        )
+        result.blocks[(bi, bj)] = Block(tile)
+    return result
+
+
+def zeros(rows: int, cols: int, block_size: int = DEFAULT_BLOCK_SIZE) -> BlockedMatrix:
+    """An all-zero matrix (stores no blocks at all)."""
+    return BlockedMatrix(MatrixMeta(rows, cols, block_size, density=0.0))
+
+
+def ones(rows: int, cols: int, block_size: int = DEFAULT_BLOCK_SIZE) -> BlockedMatrix:
+    """An all-ones dense matrix."""
+    meta = MatrixMeta(rows, cols, block_size, density=1.0)
+    result = BlockedMatrix(meta)
+    for bi in range(meta.block_rows):
+        for bj in range(meta.block_cols):
+            h, w = meta.block_dims(bi, bj)
+            result.blocks[(bi, bj)] = Block.full(h, w, 1.0)
+    return result
+
+
+def identity(n: int, block_size: int = DEFAULT_BLOCK_SIZE) -> BlockedMatrix:
+    """The n-by-n identity matrix (diagonal blocks only)."""
+    meta = MatrixMeta(n, n, block_size, density=1.0 / n)
+    result = BlockedMatrix(meta)
+    for bi in range(meta.block_rows):
+        h, w = meta.block_dims(bi, bi)
+        result.blocks[(bi, bi)] = Block(sp.eye(h, w, format="csr"))
+    return result
+
+
+def rand_dense(
+    rows: int,
+    cols: int,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    seed: int = 0,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> BlockedMatrix:
+    """Uniform random dense matrix, reproducible per (seed, block)."""
+    if high <= low:
+        raise DataError(f"invalid range [{low}, {high})")
+    meta = MatrixMeta(rows, cols, block_size, density=1.0)
+    result = BlockedMatrix(meta)
+    root = np.random.default_rng(seed)
+    seeds = root.spawn(meta.block_rows * meta.block_cols)
+    for bi in range(meta.block_rows):
+        for bj in range(meta.block_cols):
+            rng = seeds[bi * meta.block_cols + bj]
+            h, w = meta.block_dims(bi, bj)
+            result.blocks[(bi, bj)] = Block(rng.uniform(low, high, size=(h, w)))
+    return result
+
+
+def rand_sparse(
+    rows: int,
+    cols: int,
+    density: float,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    seed: int = 0,
+    low: float = 0.1,
+    high: float = 1.0,
+) -> BlockedMatrix:
+    """Uniform random sparse matrix with the given global density.
+
+    Non-zero positions are i.i.d. uniform as in the paper's synthetic data.
+    Values are uniform in ``[low, high)`` and never exactly zero, so the
+    realised density matches the sampled pattern.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise DataError(f"density must be within [0, 1], got {density}")
+    if high <= low:
+        raise DataError(f"invalid range [{low}, {high})")
+    if density >= 0.5:
+        dense = rand_dense(rows, cols, block_size, seed, low, high)
+        if density >= 1.0:
+            return dense
+        # knock out elements uniformly to hit the target density
+        rng = np.random.default_rng(seed + 1)
+        for key in dense.block_keys():
+            block = dense.blocks[key].to_numpy()
+            mask = rng.random(block.shape) < density
+            dense.blocks[key] = Block(block * mask)
+        dense.meta = dense.refreshed_meta()
+        return dense
+
+    meta = MatrixMeta(rows, cols, block_size, density=density)
+    result = BlockedMatrix(meta)
+    root = np.random.default_rng(seed)
+    seeds = root.spawn(meta.block_rows * meta.block_cols)
+    for bi in range(meta.block_rows):
+        for bj in range(meta.block_cols):
+            rng = seeds[bi * meta.block_cols + bj]
+            h, w = meta.block_dims(bi, bj)
+            nnz = rng.binomial(h * w, density)
+            if nnz == 0:
+                continue
+            flat = rng.choice(h * w, size=nnz, replace=False)
+            values = rng.uniform(low, high, size=nnz)
+            tile = sp.csr_matrix(
+                (values, (flat // w, flat % w)), shape=(h, w)
+            )
+            result.blocks[(bi, bj)] = Block(tile)
+    return result

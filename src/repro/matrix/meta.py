@@ -1,0 +1,155 @@
+"""Matrix metadata: shape, blocking and size estimation.
+
+The cost model (Section 3.3) reasons about matrices *before* they exist —
+``size(v)`` in Eqs. 3-4 is an estimate from dimensions and density.
+:class:`MatrixMeta` carries exactly that information and is propagated
+through the DAG by shape/sparsity inference, so the optimizer never has to
+touch actual blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.config import DEFAULT_BLOCK_SIZE, ELEMENT_BYTES
+from repro.errors import MatrixShapeError
+
+
+@dataclass(frozen=True)
+class MatrixMeta:
+    """Shape, blocking and estimated density of one matrix.
+
+    Parameters
+    ----------
+    rows, cols:
+        Element dimensions.
+    block_size:
+        Side length of square tiles (edge tiles may be ragged).
+    density:
+        Estimated fraction of non-zero elements in ``[0, 1]``.
+    """
+
+    rows: int
+    cols: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+    density: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise MatrixShapeError(
+                f"matrix dimensions must be positive, got {self.rows}x{self.cols}"
+            )
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if not 0.0 <= self.density <= 1.0:
+            raise ValueError(f"density must be within [0, 1], got {self.density}")
+
+    # -- blocking ------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def block_rows(self) -> int:
+        """``I`` (or ``J``/``K``) of the paper: grid height in blocks."""
+        return math.ceil(self.rows / self.block_size)
+
+    @property
+    def block_cols(self) -> int:
+        return math.ceil(self.cols / self.block_size)
+
+    @property
+    def block_grid(self) -> tuple[int, int]:
+        return (self.block_rows, self.block_cols)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.block_rows * self.block_cols
+
+    def block_dims(self, bi: int, bj: int) -> tuple[int, int]:
+        """Element dimensions of tile ``(bi, bj)`` (ragged at the edges)."""
+        if not (0 <= bi < self.block_rows and 0 <= bj < self.block_cols):
+            raise IndexError(
+                f"block ({bi}, {bj}) outside grid {self.block_grid}"
+            )
+        height = min(self.block_size, self.rows - bi * self.block_size)
+        width = min(self.block_size, self.cols - bj * self.block_size)
+        return (height, width)
+
+    def block_row_range(self, bi: int) -> tuple[int, int]:
+        """Element row interval ``[start, stop)`` covered by block row *bi*."""
+        start = bi * self.block_size
+        return (start, min(start + self.block_size, self.rows))
+
+    def block_col_range(self, bj: int) -> tuple[int, int]:
+        start = bj * self.block_size
+        return (start, min(start + self.block_size, self.cols))
+
+    # -- size estimation -------------------------------------------------------
+
+    @property
+    def num_elements(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def estimated_nnz(self) -> int:
+        return int(round(self.num_elements * self.density))
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Estimated storage, sparse-aware: the cost model's ``size(v)``.
+
+        Dense matrices cost 8 bytes per element.  Sparse ones cost roughly
+        12 bytes per stored non-zero (CSR value + column index), matching
+        :meth:`repro.blocks.Block.nbytes`.
+        """
+        if self.density >= 0.5:
+            return self.num_elements * ELEMENT_BYTES
+        return max(self.estimated_nnz, 1) * 12
+
+    # -- derived metas ----------------------------------------------------------
+
+    def transposed(self) -> "MatrixMeta":
+        return replace(self, rows=self.cols, cols=self.rows)
+
+    def with_density(self, density: float) -> "MatrixMeta":
+        return replace(self, density=density)
+
+    def matmul_meta(self, other: "MatrixMeta") -> "MatrixMeta":
+        """Meta of ``self @ other`` with a standard density estimate.
+
+        Uses the independent-placement estimate
+        ``1 - (1 - dA*dB)^K`` for the chance an output cell is non-zero.
+        """
+        if self.cols != other.rows:
+            raise MatrixShapeError(
+                f"cannot multiply {self.shape} by {other.shape}"
+            )
+        if self.block_size != other.block_size:
+            raise MatrixShapeError(
+                "operands use different block sizes: "
+                f"{self.block_size} vs {other.block_size}"
+            )
+        k = self.cols
+        pair = self.density * other.density
+        out_density = min(1.0, 1.0 - (1.0 - pair) ** k if pair < 1.0 else 1.0)
+        return MatrixMeta(
+            rows=self.rows,
+            cols=other.cols,
+            block_size=self.block_size,
+            density=out_density,
+        )
+
+    def elementwise_meta(self, other: "MatrixMeta", sparse_safe: bool) -> "MatrixMeta":
+        """Meta of an element-wise combination of two same-shape matrices."""
+        if self.shape != other.shape:
+            raise MatrixShapeError(
+                f"element-wise operands must match: {self.shape} vs {other.shape}"
+            )
+        if sparse_safe:
+            out_density = min(self.density, other.density)
+        else:
+            out_density = min(1.0, self.density + other.density)
+        return replace(self, density=out_density)

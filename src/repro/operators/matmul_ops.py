@@ -1,0 +1,64 @@
+"""Standalone distributed matrix multiplication strategies.
+
+Engines that do not fuse a multiplication into a larger operator still have
+to execute it; the three strategies here are single-operator specializations
+of the corresponding fused operators (a bare ``ba(x)`` is just a partial
+fusion plan with one node):
+
+* :class:`BroadcastMatMul` — Spark "map-side" multiply: broadcast the smaller
+  operand (SystemDS' mapmm).
+* :class:`ReplicationMatMul` — replicate operand slices per output block
+  (SystemDS' rmm).
+* :class:`CuboidMatMul` — DistME's CuboidMM with optimized ``(P, Q, R)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import EngineConfig
+from repro.core.cfo import CuboidFusedOperator
+from repro.core.plan import PartialFusionPlan
+from repro.errors import PlanError
+from repro.lang.dag import DAG, MatMulNode
+from repro.operators.bfo import BroadcastFusedOperator
+from repro.operators.rfo import ReplicationFusedOperator
+
+
+def _single_node_plan(node: MatMulNode, dag: DAG) -> PartialFusionPlan:
+    if not isinstance(node, MatMulNode):
+        raise PlanError(f"expected a matrix multiplication node, got {node!r}")
+    return PartialFusionPlan({node}, dag)
+
+
+class BroadcastMatMul(BroadcastFusedOperator):
+    """``ba(x)`` executed with broadcast consolidation."""
+
+    def __init__(self, node: MatMulNode, dag: DAG, config: EngineConfig):
+        super().__init__(_single_node_plan(node, dag), config)
+
+
+class ReplicationMatMul(ReplicationFusedOperator):
+    """``ba(x)`` executed with replication consolidation."""
+
+    def __init__(self, node: MatMulNode, dag: DAG, config: EngineConfig):
+        super().__init__(_single_node_plan(node, dag), config)
+
+
+class CuboidMatMul(CuboidFusedOperator):
+    """``ba(x)`` executed as DistME's CuboidMM (optimized ``(P, Q, R)``)."""
+
+    def __init__(
+        self,
+        node: MatMulNode,
+        dag: DAG,
+        config: EngineConfig,
+        pqr: Optional[tuple[int, int, int]] = None,
+        optimizer_method: str = "pruned",
+    ):
+        super().__init__(
+            _single_node_plan(node, dag),
+            config,
+            pqr=pqr,
+            optimizer_method=optimizer_method,
+        )

@@ -1,0 +1,25 @@
+"""The Replication-based Fused Operator (Section 2.2).
+
+RFO replicates slices of the side matrices to every task that holds a block
+of the main matrix: for ``O = X * log(U x V^T + eps)`` with ``X`` of ``I x J``
+blocks, ``U``'s block-row ``i`` is shipped to all ``J`` tasks of output row
+``i`` and ``V``'s block-row ``j`` to all ``I`` tasks of output column ``j`` —
+communication ``|X| + J*|U| + I*|V|``, tiny per-task memory, but massive
+traffic for large grids (Figure 9 characterizes RFO as the ``(P=I, Q=J,
+R=1)`` corner of the cuboid space, which is exactly how we realize it).
+"""
+
+from __future__ import annotations
+
+from repro.config import EngineConfig
+from repro.core.cfo import CuboidFusedOperator
+from repro.core.plan import PartialFusionPlan
+from repro.core.spaces import plan_layout
+
+
+class ReplicationFusedOperator(CuboidFusedOperator):
+    """A CFO pinned to the replication corner ``(P=I, Q=J, R=1)``."""
+
+    def __init__(self, plan: PartialFusionPlan, config: EngineConfig):
+        extent_i, extent_j, _ = plan_layout(plan).mm.mm_dims()
+        super().__init__(plan, config, pqr=(extent_i, extent_j, 1))

@@ -1,0 +1,55 @@
+"""Human-readable formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output consistent (GB with one decimal, seconds or minutes,
+aligned ASCII tables).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_BYTE_UNITS = ("B", "KB", "MB", "GB", "TB", "PB")
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count the way the paper's figures label data volumes."""
+    if num_bytes < 0:
+        raise ValueError("byte count cannot be negative")
+    value = float(num_bytes)
+    for unit in _BYTE_UNITS:
+        if value < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration: ms below one second, minutes above two minutes."""
+    if seconds < 0:
+        raise ValueError("duration cannot be negative")
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f} s"
+    if seconds < 2 * 3600.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (used by every benchmark harness)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MatrixShapeError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless *value* is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_same_shape(a: Sequence[int], b: Sequence[int], what: str = "operands") -> None:
+    """Raise :class:`MatrixShapeError` unless shapes *a* and *b* match."""
+    if tuple(a) != tuple(b):
+        raise MatrixShapeError(f"{what} must have the same shape: {tuple(a)} vs {tuple(b)}")
+
+
+def check_multipliable(a: Sequence[int], b: Sequence[int]) -> None:
+    """Raise :class:`MatrixShapeError` unless ``a @ b`` is well formed."""
+    if a[1] != b[0]:
+        raise MatrixShapeError(
+            f"cannot multiply {tuple(a)} by {tuple(b)}: inner dimensions differ"
+        )

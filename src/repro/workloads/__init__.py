@@ -1,0 +1,38 @@
+"""The paper's evaluation workloads, expressed against the public API.
+
+* :mod:`repro.workloads.nmf` — the Section 6.2 micro-query
+  ``X * log(U x V^T + eps)`` (one multiplication, one sparse mask).
+* :mod:`repro.workloads.gnmf` — Gaussian NMF (Eq. 6): the Section 6.4
+  macro-benchmark with four multiplications per iteration.
+* :mod:`repro.workloads.als` — the weighted-squared-loss of ALS
+  (Figure 1(a)): ``sum((X != 0) * (X - U x V)^2)``.
+* :mod:`repro.workloads.kl` — the generalized KL-divergence loss, the
+  paper's other Outer-fusion motivating pattern.
+* :mod:`repro.workloads.pca` — the PCA covariance pattern ``(X x S)^T x X``
+  used to illustrate Row fusion (Figure 2(b)).
+* :mod:`repro.workloads.autoencoder` — the two-hidden-layer AutoEncoder of
+  Section 6.5, forward and backward passes as matrix expressions.
+* :mod:`repro.workloads.recommender` — top-k recommendation on factor
+  matrices (the application the paper's GNMF section motivates).
+"""
+
+from repro.workloads.nmf import nmf_query
+from repro.workloads.gnmf import GNMF, gnmf_updates
+from repro.workloads.als import als_loss_query
+from repro.workloads.kl import kl_divergence_query, kl_divergence_value
+from repro.workloads.pca import pca_covariance_query
+from repro.workloads.autoencoder import AutoEncoder, AutoEncoderShapes
+from repro.workloads.recommender import top_k_items
+
+__all__ = [
+    "nmf_query",
+    "GNMF",
+    "gnmf_updates",
+    "als_loss_query",
+    "kl_divergence_query",
+    "kl_divergence_value",
+    "pca_covariance_query",
+    "AutoEncoder",
+    "AutoEncoderShapes",
+    "top_k_items",
+]

@@ -1,0 +1,40 @@
+"""The ALS weighted-squared-loss query (Figure 1(a)).
+
+``sum((X != 0) * (X - U x V)^2)`` — the paper's motivating example for
+sparsity exploitation: the product ``U x V`` only ever needs computing at the
+non-zero cells of ``X``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_BLOCK_SIZE
+from repro.lang.builder import Expr, matrix_input, nnz_mask, sq, sum_of
+
+
+@dataclass(frozen=True)
+class ALSLossQuery:
+    expr: Expr
+    x: Expr
+    u: Expr
+    v: Expr
+
+
+def als_loss_query(
+    rows: int,
+    cols: int,
+    factors: int,
+    density: float,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> ALSLossQuery:
+    """Build the weighted squared loss over an ``rows x cols`` rating matrix.
+
+    ``U`` is ``rows x factors`` and ``V`` is ``factors x cols``, following
+    Figure 1(a)'s orientation (``U x V`` approximates ``X`` directly).
+    """
+    x = matrix_input("X", rows, cols, block_size, density=density)
+    u = matrix_input("U", rows, factors, block_size)
+    v = matrix_input("V", factors, cols, block_size)
+    expr = sum_of(nnz_mask(x) * sq(x - u @ v))
+    return ALSLossQuery(expr=expr, x=x, u=u, v=v)

@@ -1,0 +1,72 @@
+"""The generalized KL-divergence loss (Section 2.1's other Outer pattern).
+
+Alongside the weighted squared loss, the paper cites the generalized
+KL-divergence ``D(X || W x H)`` as a matrix computation whose element-wise
+multiplication with a sparse ``X`` makes Outer fusion profitable.  The loss
+splits into a masked part (non-zero cells of ``X`` only — exactly what the
+CFO's sparsity exploitation computes) and a mass-difference part::
+
+    D(X || WH) = sum(X * log(X / (W x H))) - sum(X) + sum(W x H)
+
+The first term is built so the sparse ``X`` masks the product; the
+correction terms are cheap aggregations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_BLOCK_SIZE
+from repro.lang.builder import Expr, log, matrix_input, sum_of
+
+
+@dataclass(frozen=True)
+class KLDivergenceQuery:
+    """The three loss components plus the declared inputs.
+
+    ``masked_term`` is ``sum(X * log(X / (W x H)))`` — Outer-fusable;
+    ``x_mass`` is ``sum(X)``; ``wh_mass`` is ``sum(W x H)``.  The full loss
+    is ``masked_term - x_mass + wh_mass`` (combine the three scalars).
+    """
+
+    masked_term: Expr
+    x_mass: Expr
+    wh_mass: Expr
+    x: Expr
+    w: Expr
+    h: Expr
+
+
+def kl_divergence_query(
+    rows: int,
+    cols: int,
+    factors: int,
+    density: float,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    eps: float = 1e-12,
+) -> KLDivergenceQuery:
+    """Build the generalized KL-divergence of ``X`` against ``W x H``.
+
+    ``W`` is ``rows x factors``, ``H`` is ``factors x cols``; ``eps`` guards
+    the logarithm at the (never materialized) zero cells.
+    """
+    x = matrix_input("X", rows, cols, block_size, density=density)
+    w = matrix_input("W", rows, factors, block_size)
+    h = matrix_input("H", factors, cols, block_size)
+    masked = sum_of(x * log((x + eps) / (w @ h + eps)))
+    return KLDivergenceQuery(
+        masked_term=masked,
+        x_mass=sum_of(x),
+        wh_mass=sum_of(w @ h),
+        x=x,
+        w=w,
+        h=h,
+    )
+
+
+def kl_divergence_value(result_masked, result_x, result_wh) -> float:
+    """Combine the three executed components into the scalar loss."""
+    masked = float(result_masked.to_numpy()[0, 0])
+    x_mass = float(result_x.to_numpy()[0, 0])
+    wh_mass = float(result_wh.to_numpy()[0, 0])
+    return masked - x_mass + wh_mass

@@ -1,0 +1,44 @@
+"""The Section 6.2 micro-benchmark query: ``O = X * log(U x V^T + eps)``.
+
+One large multiplication wrapped in element-wise operators with a sparse
+mask — the query the paper uses to compare BFO, RFO and CFO head-to-head
+(Figures 3, 8, 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_BLOCK_SIZE
+from repro.lang.builder import Expr, log, matrix_input
+
+
+@dataclass(frozen=True)
+class NMFQuery:
+    """The query expression plus its declared inputs."""
+
+    expr: Expr
+    x: Expr
+    u: Expr
+    v: Expr
+
+
+def nmf_query(
+    rows: int,
+    cols: int,
+    factors: int,
+    density: float,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    eps: float = 1e-8,
+) -> NMFQuery:
+    """Build ``X * log(U x V^T + eps)`` for an ``rows x cols`` rating matrix.
+
+    ``X`` is ``rows x cols`` with the given density, ``U`` is
+    ``rows x factors`` dense and ``V`` is ``cols x factors`` dense — the
+    shapes of Section 2.2's running example.
+    """
+    x = matrix_input("X", rows, cols, block_size, density=density)
+    u = matrix_input("U", rows, factors, block_size)
+    v = matrix_input("V", cols, factors, block_size)
+    expr = x * log(u @ v.T + eps)
+    return NMFQuery(expr=expr, x=x, u=u, v=v)

@@ -1,0 +1,33 @@
+"""The PCA covariance pattern ``(X x S)^T x X`` (Figure 2(b), Row fusion).
+
+``S`` is a narrow projection matrix; the pattern reads the rows of ``X``
+twice but a fused operator scans them once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_BLOCK_SIZE
+from repro.lang.builder import Expr, matrix_input
+
+
+@dataclass(frozen=True)
+class PCAQuery:
+    expr: Expr
+    x: Expr
+    s: Expr
+
+
+def pca_covariance_query(
+    rows: int,
+    cols: int,
+    projected: int = 1,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    density: float = 1.0,
+) -> PCAQuery:
+    """Build ``(X x S)^T x X`` with ``S`` of ``cols x projected``."""
+    x = matrix_input("X", rows, cols, block_size, density=density)
+    s = matrix_input("S", cols, projected, block_size)
+    expr = (x @ s).T @ x
+    return PCAQuery(expr=expr, x=x, s=s)

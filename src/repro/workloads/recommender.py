@@ -1,0 +1,44 @@
+"""Top-k recommendation from GNMF factor matrices.
+
+The paper motivates GNMF with recommendation (Section 6.4): after
+factorizing ``X ~ V x U``, the predicted rating of item ``j`` for user ``i``
+is ``(V x U)[i, j]`` and the system recommends the highest-rated unseen
+items.  The prediction itself is a matrix query executed on an engine; the
+top-k selection happens on the collected rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.execution import Engine
+from repro.lang.builder import matrix_input
+from repro.matrix.distributed import BlockedMatrix
+
+
+def top_k_items(
+    engine: Engine,
+    x: BlockedMatrix,
+    u: BlockedMatrix,
+    v: BlockedMatrix,
+    user: int,
+    k: int = 10,
+) -> list[tuple[int, float]]:
+    """Recommend the top-*k* unseen items for *user*.
+
+    Computes the predicted rating matrix ``V x U`` on *engine*, masks items
+    the user already rated in ``x``, and returns ``(item, score)`` pairs in
+    descending score order.
+    """
+    if not 0 <= user < x.shape[0]:
+        raise IndexError(f"user {user} outside [0, {x.shape[0]})")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ue = matrix_input("U", *u.shape, u.block_size, density=1.0)
+    ve = matrix_input("V", *v.shape, v.block_size, density=1.0)
+    result = engine.execute(ve @ ue, {"U": u, "V": v})
+    predicted = result.output().to_numpy()[user]
+    seen = x.to_numpy()[user] != 0
+    predicted = np.where(seen, -np.inf, predicted)
+    order = np.argsort(-predicted)[:k]
+    return [(int(j), float(predicted[j])) for j in order if np.isfinite(predicted[j])]

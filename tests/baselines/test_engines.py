@@ -1,0 +1,137 @@
+"""Engine-level tests for the four baselines: correctness, policy and the
+failure modes the paper reports (MatFast O.O.M., SystemDS B/R choice)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistMELikeEngine,
+    FuseMEEngine,
+    LocalXLAEngine,
+    MatFastLikeEngine,
+    SystemDSLikeEngine,
+)
+from repro.errors import TaskOutOfMemoryError
+from repro.lang import DAG, evaluate, log, matrix_input
+from repro.matrix import rand_dense, rand_sparse
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+@pytest.fixture
+def nmf():
+    inputs = {
+        "X": rand_sparse(200, 150, 0.05, BS, seed=1),
+        "U": rand_dense(200, 50, BS, seed=2),
+        "V": rand_dense(150, 50, BS, seed=3),
+    }
+    x = matrix_input("X", 200, 150, BS, density=0.05)
+    u = matrix_input("U", 200, 50, BS)
+    v = matrix_input("V", 150, 50, BS)
+    expr = x * log(u @ v.T + 1e-8)
+    expected = evaluate(
+        DAG(expr.node).roots[0], {k: m.to_numpy() for k, m in inputs.items()}
+    )
+    return expr, inputs, expected
+
+
+ALL_ENGINES = [
+    FuseMEEngine,
+    SystemDSLikeEngine,
+    MatFastLikeEngine,
+    DistMELikeEngine,
+    LocalXLAEngine,
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_nmf_query(self, nmf, engine_cls):
+        expr, inputs, expected = nmf
+        result = engine_cls(make_config()).execute(expr, inputs)
+        np.testing.assert_allclose(result.output().to_numpy(), expected, atol=1e-8)
+
+
+class TestSystemDSPolicy:
+    def test_bfo_for_sparse_main(self, nmf):
+        expr, inputs, _ = nmf
+        engine = SystemDSLikeEngine(make_config(input_split_bytes=1 << 20))
+        engine.execute(expr, inputs)
+        assert any(choice.startswith("bfo") for choice in engine.last_choices)
+
+    def test_rfo_for_denser_main(self):
+        """Denser X yields more partitions than I and J: RFO chosen
+        (the Section 6.2 selection rule)."""
+        inputs = {
+            "X": rand_sparse(200, 150, 0.2, BS, seed=1),
+            "U": rand_dense(200, 50, BS, seed=2),
+            "V": rand_dense(150, 50, BS, seed=3),
+        }
+        x = matrix_input("X", 200, 150, BS, density=0.2)
+        u = matrix_input("U", 200, 50, BS)
+        v = matrix_input("V", 150, 50, BS)
+        expr = x * (u @ v.T)
+        engine = SystemDSLikeEngine(make_config(input_split_bytes=8 * 1024))
+        engine.execute(expr, inputs)
+        assert any(choice.startswith("rfo") for choice in engine.last_choices)
+
+
+class TestMatFastPolicy:
+    def test_no_sparsity_exploitation(self, nmf):
+        expr, inputs, _ = nmf
+        engine = MatFastLikeEngine(make_config())
+        assert engine.config.sparsity_exploitation is False
+
+    def test_oom_when_broadcast_side_too_big(self, nmf):
+        """MatFast's broadcast matmul dies when a factor exceeds the task
+        budget (Figure 14(g))."""
+        expr, inputs, _ = nmf
+        config = make_config(task_memory_budget=90_000)
+        with pytest.raises(TaskOutOfMemoryError):
+            MatFastLikeEngine(config).execute(expr, inputs)
+
+    def test_fuseme_survives_same_budget(self, nmf):
+        expr, inputs, expected = nmf
+        config = make_config(task_memory_budget=90_000)
+        result = FuseMEEngine(config).execute(expr, inputs)
+        np.testing.assert_allclose(result.output().to_numpy(), expected, atol=1e-8)
+
+
+class TestDistME:
+    def test_every_operator_materializes(self, nmf):
+        expr, inputs, _ = nmf
+        result = DistMELikeEngine(make_config()).execute(expr, inputs)
+        dag = result.dag
+        n_ops = sum(1 for _ in dag.operators())
+        assert len(result.fusion_plan.units) == n_ops
+
+    def test_more_comm_than_fuseme(self, nmf):
+        expr, inputs, _ = nmf
+        config = make_config()
+        distme = DistMELikeEngine(config).execute(expr, inputs)
+        fuseme = FuseMEEngine(config).execute(expr, inputs)
+        assert distme.comm_bytes > fuseme.comm_bytes
+
+
+class TestLocalXLA:
+    def test_no_communication(self, nmf):
+        expr, inputs, _ = nmf
+        result = LocalXLAEngine(make_config()).execute(expr, inputs)
+        assert result.comm_bytes == 0
+        assert result.metrics.flops > 0
+
+    def test_single_node_memory_limit(self, nmf):
+        expr, inputs, _ = nmf
+        config = make_config(task_memory_budget=40_000, tasks_per_node=2)
+        with pytest.raises(TaskOutOfMemoryError):
+            LocalXLAEngine(config).execute(expr, inputs)
+
+    def test_multi_root(self, nmf):
+        expr, inputs, _ = nmf
+        x = matrix_input("X2", 200, 150, BS, density=0.05)
+        result = LocalXLAEngine(make_config()).execute(
+            [expr, expr * 2.0], inputs
+        )
+        assert len(result.outputs) == 2

@@ -1,0 +1,76 @@
+"""Focused tests for the TensorFlow-XLA-like single-node baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LocalXLAEngine
+from repro.errors import PlanError, TaskOutOfMemoryError
+from repro.lang import DAG, evaluate, log, matrix_input, sum_of
+from repro.matrix import rand_dense, rand_sparse
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+@pytest.fixture
+def setting():
+    inputs = {
+        "X": rand_sparse(150, 100, 0.1, BS, seed=1),
+        "U": rand_dense(150, 50, BS, seed=2),
+        "V": rand_dense(100, 50, BS, seed=3),
+    }
+    x = matrix_input("X", 150, 100, BS, density=0.1)
+    u = matrix_input("U", 150, 50, BS)
+    v = matrix_input("V", 100, 50, BS)
+    return (x, u, v), inputs
+
+
+class TestExecution:
+    def test_matches_reference(self, setting):
+        (x, u, v), inputs = setting
+        expr = x * log(u @ v.T + 1e-8)
+        result = LocalXLAEngine(make_config()).execute(expr, inputs)
+        expected = evaluate(
+            DAG(expr.node).roots[0],
+            {k: m.to_numpy() for k, m in inputs.items()},
+        )
+        np.testing.assert_allclose(result.output().to_numpy(), expected, atol=1e-8)
+
+    def test_scalar_output_block_shape(self, setting):
+        (x, u, v), inputs = setting
+        result = LocalXLAEngine(make_config()).execute(sum_of(x), inputs)
+        assert result.output().shape == (1, 1)
+
+    def test_single_stage(self, setting):
+        (x, u, v), inputs = setting
+        result = LocalXLAEngine(make_config()).execute(x * 2.0, inputs)
+        assert result.metrics.num_stages == 1
+        assert result.metrics.stages[0].num_tasks == 1
+
+    def test_node_memory_is_tasks_times_budget(self):
+        engine = LocalXLAEngine(make_config(task_memory_budget=1000,
+                                            tasks_per_node=4))
+        assert engine.node_memory == 4000
+
+    def test_missing_binding_rejected(self, setting):
+        (x, u, v), inputs = setting
+        del inputs["U"]
+        with pytest.raises(PlanError):
+            LocalXLAEngine(make_config()).execute(u @ v.T, inputs)
+
+    def test_elapsed_scales_with_flops(self, setting):
+        (x, u, v), inputs = setting
+        small = LocalXLAEngine(make_config()).execute(x * 2.0, inputs)
+        big = LocalXLAEngine(make_config()).execute(
+            (u @ v.T) * 1.0, inputs
+        )
+        assert big.metrics.flops > small.metrics.flops
+        assert big.elapsed_seconds >= small.elapsed_seconds
+
+    def test_oom_includes_working_set(self, setting):
+        (x, u, v), inputs = setting
+        config = make_config(task_memory_budget=10_000, tasks_per_node=2)
+        with pytest.raises(TaskOutOfMemoryError) as exc:
+            LocalXLAEngine(config).execute(u @ v.T, inputs)
+        assert exc.value.task_id == "xla-node"

@@ -1,0 +1,125 @@
+"""Unit tests for the Block container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.blocks import Block
+from repro.errors import SparsityError
+
+
+class TestConstruction:
+    def test_dense_from_list(self):
+        b = Block([[1.0, 2.0], [3.0, 4.0]])
+        assert not b.is_sparse
+        assert b.shape == (2, 2)
+        assert b.data.dtype == np.float64
+
+    def test_scalar_becomes_1x1(self):
+        b = Block(np.float64(5.0))
+        assert b.shape == (1, 1)
+
+    def test_vector_becomes_column(self):
+        b = Block(np.array([1.0, 2.0, 3.0]))
+        assert b.shape == (3, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            Block(np.zeros((2, 2, 2)))
+
+    def test_sparse_normalized_to_csr(self):
+        b = Block(sp.coo_matrix(np.eye(3)))
+        assert b.is_sparse
+        assert isinstance(b.data, sp.csr_matrix)
+
+    def test_integer_input_coerced_to_float(self):
+        b = Block(np.array([[1, 2], [3, 4]]))
+        assert b.data.dtype == np.float64
+
+
+class TestProperties:
+    def test_nnz_dense(self):
+        b = Block(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        assert b.nnz == 2
+
+    def test_nnz_sparse(self):
+        b = Block(sp.csr_matrix(np.array([[0.0, 1.0], [2.0, 0.0]])))
+        assert b.nnz == 2
+
+    def test_density(self):
+        b = Block(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        assert b.density == pytest.approx(0.5)
+
+    def test_dense_nbytes(self):
+        b = Block(np.zeros((10, 20)))
+        assert b.nbytes == 10 * 20 * 8
+
+    def test_sparse_nbytes_scales_with_nnz(self):
+        a = Block(sp.random(50, 50, density=0.02, format="csr", random_state=0))
+        b = Block(sp.random(50, 50, density=0.2, format="csr", random_state=0))
+        assert a.nbytes < b.nbytes
+
+    def test_empty_block_density_zero(self):
+        b = Block.zeros(4, 4, sparse=True)
+        assert b.density == 0.0
+
+
+class TestConversions:
+    def test_round_trip_sparse_dense(self):
+        arr = np.array([[0.0, 1.5], [2.5, 0.0]])
+        b = Block(arr)
+        assert b.to_sparse().to_dense().allclose(b)
+
+    def test_to_numpy_is_copy(self):
+        arr = np.ones((2, 2))
+        b = Block(arr)
+        out = b.to_numpy()
+        out[0, 0] = 99.0
+        assert b.data[0, 0] == 1.0
+
+    def test_require_sparse_raises_on_dense(self):
+        with pytest.raises(SparsityError):
+            Block(np.ones((2, 2))).require_sparse()
+
+    def test_require_sparse_returns_csr(self):
+        b = Block(sp.eye(3, format="csr"))
+        assert b.require_sparse().shape == (3, 3)
+
+
+class TestStructural:
+    def test_transpose_dense(self):
+        arr = np.arange(6.0).reshape(2, 3)
+        assert np.array_equal(Block(arr).transpose().to_numpy(), arr.T)
+
+    def test_transpose_sparse_stays_sparse(self):
+        b = Block(sp.eye(3, 4, format="csr"))
+        t = b.transpose()
+        assert t.is_sparse
+        assert t.shape == (4, 3)
+
+    def test_slice(self):
+        arr = np.arange(16.0).reshape(4, 4)
+        piece = Block(arr).slice(slice(1, 3), slice(0, 2))
+        assert np.array_equal(piece.to_numpy(), arr[1:3, 0:2])
+
+    def test_copy_is_independent(self):
+        b = Block(np.ones((2, 2)))
+        c = b.copy()
+        c.data[0, 0] = 7.0
+        assert b.data[0, 0] == 1.0
+
+    def test_zeros_and_full_and_eye(self):
+        assert Block.zeros(2, 3).to_numpy().sum() == 0.0
+        assert Block.full(2, 2, 3.0).to_numpy().sum() == 12.0
+        assert np.array_equal(Block.eye(2, 3).to_numpy(), np.eye(2, 3))
+
+    def test_allclose_across_formats(self):
+        arr = np.array([[0.0, 2.0], [0.0, 0.0]])
+        assert Block(arr).allclose(Block(sp.csr_matrix(arr)))
+
+    def test_allclose_shape_mismatch(self):
+        assert not Block(np.zeros((2, 2))).allclose(Block(np.zeros((2, 3))))
+
+    def test_repr_mentions_kind(self):
+        assert "dense" in repr(Block(np.ones((2, 2))))
+        assert "sparse" in repr(Block(sp.eye(2, format="csr")))

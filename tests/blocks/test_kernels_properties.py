@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) on block kernels.
+
+Invariants checked: representation independence (sparse and dense blocks
+yield identical numbers), algebraic identities, and SDDMM's defining
+property against full multiplication.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.blocks import Block, binary, matmul, sddmm, unary
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, width=64)
+positive = st.floats(min_value=0.1, max_value=100, allow_nan=False, width=64)
+
+
+def small_matrix(rows=st.integers(1, 6), cols=st.integers(1, 6), elements=finite):
+    return st.tuples(rows, cols).flatmap(
+        lambda rc: arrays(np.float64, (rc[0], rc[1]), elements=elements)
+    )
+
+
+def sparsify(arr: np.ndarray) -> np.ndarray:
+    """Zero out roughly half the entries deterministically."""
+    mask = (np.arange(arr.size).reshape(arr.shape) % 2).astype(bool)
+    return arr * mask
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_matrix())
+def test_unary_sparse_dense_agree(arr):
+    arr = sparsify(arr)
+    dense_out = unary("sq", Block(arr)).to_numpy()
+    sparse_out = unary("sq", Block(sp.csr_matrix(arr))).to_numpy()
+    np.testing.assert_allclose(dense_out, sparse_out)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_matrix(elements=positive))
+def test_binary_mul_sparse_dense_agree(arr):
+    masked = sparsify(arr)
+    a_dense = binary("mul", Block(masked), Block(arr)).to_numpy()
+    a_sparse = binary("mul", Block(sp.csr_matrix(masked)), Block(arr)).to_numpy()
+    np.testing.assert_allclose(a_dense, a_sparse)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_matrix())
+def test_add_commutative(arr):
+    a, b = Block(arr), Block(arr[::-1].copy())
+    np.testing.assert_allclose(
+        binary("add", a, b).to_numpy(), binary("add", b, a).to_numpy()
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_matrix())
+def test_double_transpose_identity(arr):
+    b = Block(arr)
+    np.testing.assert_allclose(b.transpose().transpose().to_numpy(), arr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_matrix())
+def test_neg_involution(arr):
+    b = Block(arr)
+    np.testing.assert_allclose(unary("neg", unary("neg", b)).to_numpy(), arr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(1, 5), st.integers(1, 5), st.integers(1, 5),
+    st.randoms(use_true_random=False),
+)
+def test_sddmm_equals_masked_matmul(m, k, n, rnd):
+    rng = np.random.default_rng(rnd.randint(0, 2**31))
+    a = rng.normal(size=(m, k))
+    b = rng.normal(size=(k, n))
+    mask = (rng.random((m, n)) < 0.5).astype(float)
+    mask_block = Block(sp.csr_matrix(mask))
+    expected = (a @ b) * mask
+    got = sddmm(mask_block, Block(a), Block(b)).to_numpy()
+    np.testing.assert_allclose(got, expected, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+    st.randoms(use_true_random=False),
+)
+def test_matmul_matches_numpy(m, k, n, rnd):
+    rng = np.random.default_rng(rnd.randint(0, 2**31))
+    a = rng.normal(size=(m, k))
+    b = rng.normal(size=(k, n))
+    np.testing.assert_allclose(
+        matmul(Block(a), Block(b)).to_numpy(), a @ b, atol=1e-10
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_matrix(elements=positive), st.floats(0.1, 10))
+def test_scalar_div_then_mul_roundtrip(arr, scalar):
+    b = Block(arr)
+    round_trip = binary("mul", binary("div", b, scalar), scalar).to_numpy()
+    np.testing.assert_allclose(round_trip, arr, rtol=1e-9)

@@ -1,0 +1,89 @@
+"""Unit tests for SimulatedCluster and Stage."""
+
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.errors import SimulatedTimeoutError
+
+from tests.conftest import make_config
+
+
+def cluster(**kwargs) -> SimulatedCluster:
+    return SimulatedCluster(make_config(**kwargs))
+
+
+class TestStageLifecycle:
+    def test_stage_records_metrics(self):
+        c = cluster()
+        with c.stage("s0") as stage:
+            task = stage.task()
+            task.receive(1000)
+            task.add_flops(500)
+        assert c.metrics.num_stages == 1
+        record = c.metrics.stages[0]
+        assert record.consolidation_bytes == 1000
+        assert record.flops == 500
+        assert record.num_tasks == 1
+
+    def test_task_ids_unique(self):
+        c = cluster()
+        with c.stage("s0") as stage:
+            ids = {stage.task().task_id for _ in range(5)}
+        assert len(ids) == 5
+
+    def test_closed_stage_rejects_tasks(self):
+        c = cluster()
+        stage = c.stage("s0")
+        stage.close()
+        with pytest.raises(RuntimeError):
+            stage.task()
+
+    def test_double_close_rejected(self):
+        c = cluster()
+        stage = c.stage("s0")
+        stage.close()
+        with pytest.raises(RuntimeError):
+            stage.close()
+
+    def test_error_inside_stage_skips_accounting(self):
+        c = cluster()
+        with pytest.raises(ValueError):
+            with c.stage("s0") as stage:
+                stage.task().receive(100)
+                raise ValueError("boom")
+        assert c.metrics.num_stages == 0
+
+    def test_peak_memory_across_tasks(self):
+        c = cluster()
+        with c.stage("s0") as stage:
+            stage.task().receive(100)
+            stage.task().receive(700)
+        assert c.metrics.stages[0].peak_task_memory == 700
+
+
+class TestTiming:
+    def test_elapsed_accumulates_across_stages(self):
+        c = cluster()
+        for name in ("a", "b"):
+            with c.stage(name) as stage:
+                stage.task().receive(10_000_000)
+        assert c.metrics.elapsed_seconds > 0
+        assert c.metrics.num_stages == 2
+
+    def test_timeout_enforced(self):
+        config = make_config(timeout_seconds=1e-9)
+        c = SimulatedCluster(config)
+        with pytest.raises(SimulatedTimeoutError):
+            with c.stage("slow") as stage:
+                stage.task().receive(10_000_000)
+
+    def test_reset_metrics(self):
+        c = cluster()
+        with c.stage("a") as stage:
+            stage.task().receive(10)
+        c.reset_metrics()
+        assert c.metrics.num_stages == 0
+
+    def test_total_tasks(self):
+        c = cluster(num_nodes=3, tasks_per_node=5)
+        assert c.total_tasks == 15

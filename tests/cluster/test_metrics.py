@@ -1,0 +1,88 @@
+"""Unit tests for MetricsCollector."""
+
+from repro.cluster import MetricsCollector, StageRecord
+
+
+def record(name="s", tasks=2, consolidation=100, aggregation=10,
+           flops=1000, seconds=0.5, peak=50) -> StageRecord:
+    return StageRecord(
+        name=name,
+        num_tasks=tasks,
+        consolidation_bytes=consolidation,
+        aggregation_bytes=aggregation,
+        flops=flops,
+        seconds=seconds,
+        peak_task_memory=peak,
+    )
+
+
+class TestTotals:
+    def test_comm_is_consolidation_plus_aggregation(self):
+        m = MetricsCollector()
+        m.record(record(consolidation=100, aggregation=10))
+        m.record(record(consolidation=200, aggregation=20))
+        assert m.consolidation_bytes == 300
+        assert m.aggregation_bytes == 30
+        assert m.comm_bytes == 330
+
+    def test_elapsed_sums_stages(self):
+        m = MetricsCollector()
+        m.record(record(seconds=0.5))
+        m.record(record(seconds=1.5))
+        assert m.elapsed_seconds == 2.0
+
+    def test_peak_task_memory_is_max(self):
+        m = MetricsCollector()
+        m.record(record(peak=50))
+        m.record(record(peak=500))
+        m.record(record(peak=5))
+        assert m.peak_task_memory == 500
+
+    def test_empty_collector(self):
+        m = MetricsCollector()
+        assert m.comm_bytes == 0
+        assert m.elapsed_seconds == 0.0
+        assert m.peak_task_memory == 0
+
+    def test_num_tasks(self):
+        m = MetricsCollector()
+        m.record(record(tasks=3))
+        m.record(record(tasks=4))
+        assert m.num_tasks == 7
+
+
+class TestBookkeeping:
+    def test_reset(self):
+        m = MetricsCollector()
+        m.record(record())
+        m.reset()
+        assert m.num_stages == 0
+
+    def test_snapshot_is_independent(self):
+        m = MetricsCollector()
+        m.record(record())
+        snap = m.snapshot()
+        m.record(record())
+        assert snap.num_stages == 1
+        assert m.num_stages == 2
+
+    def test_diff_since(self):
+        m = MetricsCollector()
+        m.record(record(consolidation=100))
+        snap = m.snapshot()
+        m.record(record(consolidation=999))
+        diff = m.diff_since(snap)
+        assert diff.num_stages == 1
+        assert diff.consolidation_bytes == 999
+
+    def test_iteration(self):
+        m = MetricsCollector()
+        m.record(record(name="a"))
+        m.record(record(name="b"))
+        assert [s.name for s in m] == ["a", "b"]
+
+    def test_summary_mentions_key_figures(self):
+        m = MetricsCollector()
+        m.record(record())
+        text = m.summary()
+        assert "stages" in text and "comm" in text

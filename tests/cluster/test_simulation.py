@@ -1,0 +1,63 @@
+"""Tests for the Eq. 2 elapsed-time model."""
+
+import pytest
+
+from repro.cluster.simulation import stage_seconds
+from repro.config import ClusterConfig
+
+
+def cluster(**kwargs) -> ClusterConfig:
+    defaults = dict(
+        num_nodes=4,
+        tasks_per_node=10,
+        network_bandwidth=1e9,
+        compute_bandwidth=1e12,
+        task_launch_overhead=0.0,
+    )
+    defaults.update(kwargs)
+    return ClusterConfig(**defaults)
+
+
+class TestShape:
+    def test_zero_tasks_costs_nothing(self):
+        assert stage_seconds(cluster(), 0, 10**9, 10**9) == 0.0
+
+    def test_network_bound_stage(self):
+        c = cluster()
+        # saturate all slots; pure network
+        t = stage_seconds(c, 40, net_bytes=4 * 10**9, flops=0)
+        assert t == pytest.approx(1.0)
+
+    def test_compute_bound_stage(self):
+        c = cluster()
+        t = stage_seconds(c, 40, net_bytes=0, flops=4 * 10**12)
+        assert t == pytest.approx(1.0)
+
+    def test_overlap_takes_max(self):
+        c = cluster()
+        both = stage_seconds(c, 40, net_bytes=4 * 10**9, flops=4 * 10**12)
+        assert both == pytest.approx(1.0)
+
+    def test_no_overlap_adds(self):
+        c = cluster()
+        both = stage_seconds(c, 40, net_bytes=4 * 10**9, flops=4 * 10**12,
+                             overlap=False)
+        assert both == pytest.approx(2.0)
+
+    def test_underutilized_stage_is_slower(self):
+        """Few tasks cannot use the whole cluster (the paper's BFO effect)."""
+        c = cluster()
+        full = stage_seconds(c, 40, net_bytes=10**9, flops=0)
+        starved = stage_seconds(c, 4, net_bytes=10**9, flops=0)
+        assert starved == pytest.approx(full * 10)
+
+    def test_more_tasks_than_slots_waves(self):
+        c = cluster(task_launch_overhead=0.1)
+        one_wave = stage_seconds(c, 40, net_bytes=0, flops=0)
+        three_waves = stage_seconds(c, 120, net_bytes=0, flops=0)
+        assert three_waves == pytest.approx(3 * one_wave)
+
+    def test_scales_with_nodes(self):
+        slow = stage_seconds(cluster(num_nodes=2), 20, net_bytes=10**9, flops=0)
+        fast = stage_seconds(cluster(num_nodes=8), 80, net_bytes=10**9, flops=0)
+        assert slow == pytest.approx(4 * fast)

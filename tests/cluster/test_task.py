@@ -1,0 +1,90 @@
+"""Unit tests for the per-task accounting context."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import Block
+from repro.cluster import TaskContext, TransferKind
+from repro.errors import TaskOutOfMemoryError
+
+
+def ctx(budget=1000) -> TaskContext:
+    return TaskContext("t0", budget)
+
+
+class TestTraffic:
+    def test_receive_charges_consolidation(self):
+        t = ctx()
+        t.receive(100)
+        assert t.consolidation_bytes == 100
+        assert t.aggregation_bytes == 0
+
+    def test_receive_aggregation(self):
+        t = ctx()
+        t.receive(50, kind=TransferKind.AGGREGATION)
+        assert t.aggregation_bytes == 50
+        assert t.consolidation_bytes == 0
+
+    def test_receive_block_uses_nbytes(self):
+        t = ctx(budget=10_000)
+        block = Block(np.zeros((10, 10)))
+        t.receive(block)
+        assert t.consolidation_bytes == block.nbytes
+
+    def test_receive_local_costs_no_network(self):
+        t = ctx()
+        t.receive_local(200)
+        assert t.consolidation_bytes == 0
+        assert t.memory_used == 200
+
+
+class TestMemory:
+    def test_ledger_accumulates(self):
+        t = ctx()
+        t.receive(300)
+        t.hold_output(200)
+        assert t.memory_used == 500
+        assert t.peak_memory == 500
+
+    def test_release(self):
+        t = ctx()
+        t.receive(300)
+        t.release(100)
+        assert t.memory_used == 200
+        assert t.peak_memory == 300
+
+    def test_release_clamps_at_zero(self):
+        t = ctx()
+        t.release(50)
+        assert t.memory_used == 0
+
+    def test_oom_raised_at_budget(self):
+        t = ctx(budget=100)
+        with pytest.raises(TaskOutOfMemoryError) as exc:
+            t.receive(101)
+        assert exc.value.task_id == "t0"
+        assert exc.value.used_bytes == 101
+        assert exc.value.budget_bytes == 100
+
+    def test_exact_budget_ok(self):
+        t = ctx(budget=100)
+        t.receive(100)
+        assert t.memory_used == 100
+
+    def test_oom_from_accumulation(self):
+        t = ctx(budget=100)
+        t.receive(60)
+        with pytest.raises(TaskOutOfMemoryError):
+            t.hold_output(60)
+
+
+class TestFlops:
+    def test_accumulate(self):
+        t = ctx()
+        t.add_flops(10)
+        t.add_flops(5)
+        assert t.flops == 15
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ctx().add_flops(-1)

@@ -1,0 +1,43 @@
+"""Shared fixtures: a small simulated cluster and reusable matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, EngineConfig
+
+
+def make_config(
+    block_size: int = 25,
+    num_nodes: int = 2,
+    tasks_per_node: int = 4,
+    task_memory_budget: int = 64 * 1024 * 1024,
+    input_split_bytes: int = 64 * 1024,
+    **engine_options,
+) -> EngineConfig:
+    """A laptop-sized engine config used across the test suite."""
+    cluster = ClusterConfig(
+        num_nodes=num_nodes,
+        tasks_per_node=tasks_per_node,
+        task_memory_budget=task_memory_budget,
+        input_split_bytes=input_split_bytes,
+    )
+    return EngineConfig(cluster=cluster, block_size=block_size, **engine_options)
+
+
+@pytest.fixture
+def config() -> EngineConfig:
+    return make_config()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def assert_matrix_close(got, expected: np.ndarray, atol: float = 1e-8) -> None:
+    """Compare a BlockedMatrix (or Block) against a dense reference."""
+    actual = got.to_numpy()
+    assert actual.shape == expected.shape, (actual.shape, expected.shape)
+    np.testing.assert_allclose(actual, expected, atol=atol, rtol=1e-9)

@@ -1,0 +1,182 @@
+"""Tests for the Cuboid-based Fused Operator: correctness against the
+reference interpreter across partitionings, masking, aggregation roots,
+ragged grids, and measured-vs-modeled communication."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.core.cfo import CuboidFusedOperator
+from repro.core.cost import CostModel
+from repro.core.plan import PartialFusionPlan
+from repro.core.spaces import plan_layout
+from repro.lang import DAG, colsum, evaluate, log, matrix_input, nnz_mask, rowsum, sq, sum_of
+from repro.matrix import rand_dense, rand_sparse
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+def build(expr_fn, shapes, densities=None, bs=BS, seed=0):
+    """Build (plan, env, dense reference env) from an expression factory."""
+    densities = densities or {}
+    exprs, matrices, dense_env = {}, {}, {}
+    for i, (name, (rows, cols)) in enumerate(shapes.items()):
+        density = densities.get(name, 1.0)
+        exprs[name] = matrix_input(name, rows, cols, bs, density=density)
+        if density < 1.0:
+            matrices[name] = rand_sparse(rows, cols, density, bs, seed=seed + i)
+        else:
+            matrices[name] = rand_dense(rows, cols, bs, seed=seed + i)
+        dense_env[name] = matrices[name].to_numpy()
+    expr = expr_fn(**exprs)
+    dag = DAG(expr.node)
+    plan = PartialFusionPlan(set(dag.operators()), dag)
+    return plan, matrices, dense_env, dag
+
+
+def run_cfo(plan, matrices, config=None, pqr=None):
+    config = config or make_config(block_size=BS)
+    cfo = CuboidFusedOperator(plan, config, pqr=pqr)
+    cluster = SimulatedCluster(config)
+    out = cfo.execute(cluster, matrices)
+    return out, cluster, cfo
+
+
+NMF_SHAPES = {"X": (200, 150), "U": (200, 50), "V": (150, 50)}
+
+
+def nmf_expr(X, U, V):
+    return X * log(U @ V.T + 1e-8)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("pqr", [(1, 1, 1), (2, 2, 2), (8, 6, 2), (4, 3, 1), (1, 1, 2)])
+    def test_every_partitioning_matches_reference(self, pqr):
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 0.05})
+        expected = evaluate(dag.roots[0], env)
+        out, _, _ = run_cfo(plan, matrices, pqr=pqr)
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_optimized_parameters_match_reference(self):
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 0.05})
+        expected = evaluate(dag.roots[0], env)
+        out, _, cfo = run_cfo(plan, matrices)
+        assert cfo.optimizer_result is not None
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_dense_mask_disables_exploitation_but_stays_correct(self):
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 0.9})
+        expected = evaluate(dag.roots[0], env)
+        out, _, cfo = run_cfo(plan, matrices, pqr=(2, 2, 2))
+        assert cfo.mask is None
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_sparsity_exploitation_active_on_sparse_mask(self):
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 0.02})
+        _, _, cfo = run_cfo(plan, matrices)
+        assert cfo.mask is not None
+
+    def test_exploitation_toggle(self):
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 0.02})
+        config = make_config(block_size=BS, sparsity_exploitation=False)
+        _, _, cfo = run_cfo(plan, matrices, config=config)
+        assert cfo.mask is None
+
+    def test_ragged_grid(self):
+        shapes = {"X": (190, 130), "U": (190, 40), "V": (130, 40)}
+        plan, matrices, env, dag = build(nmf_expr, shapes, {"X": 0.05})
+        expected = evaluate(dag.roots[0], env)
+        out, _, _ = run_cfo(plan, matrices, pqr=(3, 2, 2))
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_sum_root(self):
+        def loss(X, U, V):
+            return sum_of(nnz_mask(X) * sq(X - U @ V.T))
+
+        plan, matrices, env, dag = build(loss, NMF_SHAPES, {"X": 0.05})
+        expected = evaluate(dag.roots[0], env)
+        out, _, _ = run_cfo(plan, matrices, pqr=(2, 2, 2))
+        np.testing.assert_allclose(out.to_numpy(), expected, rtol=1e-9)
+
+    def test_rowsum_root(self):
+        def expr(X, U, V):
+            return rowsum(X * (U @ V.T))
+
+        plan, matrices, env, dag = build(expr, NMF_SHAPES, {"X": 0.05})
+        expected = evaluate(dag.roots[0], env)
+        out, _, _ = run_cfo(plan, matrices, pqr=(4, 2, 1))
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_colsum_root(self):
+        def expr(X, U, V):
+            return colsum(X * (U @ V.T))
+
+        plan, matrices, env, dag = build(expr, NMF_SHAPES, {"X": 0.05})
+        expected = evaluate(dag.roots[0], env)
+        out, _, _ = run_cfo(plan, matrices, pqr=(2, 3, 2))
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_transposed_root(self):
+        def expr(X, U, V):
+            return (U @ V.T).T
+
+        plan, matrices, env, dag = build(expr, NMF_SHAPES, {"X": 0.05})
+        expected = evaluate(dag.roots[0], env)
+        out, _, _ = run_cfo(plan, matrices, pqr=(2, 2, 1))
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_nested_matmuls_gnmf(self):
+        def expr(X, U, V):
+            return U * (V.T @ X) / (V.T @ V @ U + 1e-9)
+
+        shapes = {"X": (200, 150), "U": (50, 150), "V": (200, 50)}
+        plan, matrices, env, dag = build(expr, shapes, {"X": 0.05})
+        expected = evaluate(dag.roots[0], env)
+        out, _, _ = run_cfo(plan, matrices, pqr=(2, 3, 2))
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-7)
+
+
+class TestAccounting:
+    def test_measured_consolidation_tracks_model(self):
+        """Measured consolidation bytes match NetEst within sparse-estimate
+        tolerance (the model uses estimated densities)."""
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 0.05})
+        config = make_config(block_size=BS)
+        pqr = (2, 3, 2)
+        out, cluster, cfo = run_cfo(plan, matrices, config=config, pqr=pqr)
+        model = CostModel(config)
+        predicted = model.net_est(cfo.tree, pqr)
+        measured = cluster.metrics.consolidation_bytes
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_r1_has_no_aggregation_traffic(self):
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 0.05})
+        out, cluster, _ = run_cfo(plan, matrices, pqr=(4, 3, 1))
+        assert cluster.metrics.aggregation_bytes == 0
+
+    def test_r2_produces_aggregation_traffic(self):
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 0.05})
+        out, cluster, _ = run_cfo(plan, matrices, pqr=(4, 3, 2))
+        assert cluster.metrics.aggregation_bytes > 0
+
+    def test_task_count_equals_cuboids(self):
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 0.05})
+        out, cluster, _ = run_cfo(plan, matrices, pqr=(4, 3, 1))
+        assert cluster.metrics.stages[0].num_tasks == 12
+
+    def test_flops_lower_with_sparse_mask(self):
+        sparse_plan = build(nmf_expr, NMF_SHAPES, {"X": 0.02})
+        dense_plan = build(nmf_expr, NMF_SHAPES, {"X": 1.0})
+        _, sparse_cluster, _ = run_cfo(sparse_plan[0], sparse_plan[1], pqr=(2, 2, 1))
+        _, dense_cluster, _ = run_cfo(dense_plan[0], dense_plan[1], pqr=(2, 2, 1))
+        assert sparse_cluster.metrics.flops < dense_cluster.metrics.flops / 3
+
+    def test_oom_when_budget_too_small(self):
+        from repro.errors import TaskOutOfMemoryError
+
+        plan, matrices, env, dag = build(nmf_expr, NMF_SHAPES, {"X": 1.0})
+        config = make_config(block_size=BS, task_memory_budget=10_000)
+        with pytest.raises(TaskOutOfMemoryError):
+            run_cfo(plan, matrices, config=config, pqr=(1, 1, 1))

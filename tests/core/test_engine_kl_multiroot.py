@@ -1,0 +1,74 @@
+"""Cross-cutting engine tests: three-root queries, repeated execution, and
+plan stability across runs (determinism)."""
+
+import numpy as np
+import pytest
+
+from repro import FuseMEEngine
+from repro.lang import log, matrix_input, sum_of
+from repro.matrix import rand_dense, rand_sparse
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+@pytest.fixture
+def data():
+    return {
+        "X": rand_sparse(150, 100, 0.1, BS, seed=1, low=0.5, high=2.0),
+        "W": rand_dense(150, 50, BS, seed=2, low=0.1, high=1.0),
+        "H": rand_dense(50, 100, BS, seed=3, low=0.1, high=1.0),
+    }
+
+
+def three_roots():
+    x = matrix_input("X", 150, 100, BS, density=0.1)
+    w = matrix_input("W", 150, 50, BS)
+    h = matrix_input("H", 50, 100, BS)
+    return [
+        sum_of(x * log((x + 1e-12) / (w @ h + 1e-12))),
+        sum_of(x),
+        sum_of(w @ h),
+    ]
+
+
+class TestThreeRootQuery:
+    def test_all_roots_materialized(self, data):
+        result = FuseMEEngine(make_config()).execute(three_roots(), data)
+        assert len(result.outputs) == 3
+        for root in result.dag.roots:
+            assert result.outputs[root].shape == (1, 1)
+
+    def test_values(self, data):
+        result = FuseMEEngine(make_config()).execute(three_roots(), data)
+        x = data["X"].to_numpy()
+        wh = data["W"].to_numpy() @ data["H"].to_numpy()
+        roots = list(result.dag.roots)
+        expected = [
+            np.sum(x * np.log((x + 1e-12) / (wh + 1e-12))),
+            x.sum(),
+            wh.sum(),
+        ]
+        for root, value in zip(roots, expected):
+            assert result.outputs[root].to_numpy()[0, 0] == pytest.approx(value)
+
+
+class TestDeterminism:
+    def test_same_plan_same_metrics_across_runs(self, data):
+        engine = FuseMEEngine(make_config())
+        first = engine.execute(three_roots(), data)
+        second = engine.execute(three_roots(), data)
+        assert len(first.fusion_plan.units) == len(second.fusion_plan.units)
+        assert first.comm_bytes == second.comm_bytes
+        assert first.metrics.flops == second.metrics.flops
+        assert first.elapsed_seconds == pytest.approx(second.elapsed_seconds)
+
+    def test_results_bit_identical(self, data):
+        engine = FuseMEEngine(make_config())
+        a = engine.execute(three_roots(), data)
+        b = engine.execute(three_roots(), data)
+        for ra, rb in zip(a.dag.roots, b.dag.roots):
+            assert np.array_equal(
+                a.outputs[ra].to_numpy(), b.outputs[rb].to_numpy()
+            )

@@ -1,0 +1,112 @@
+"""Regression tests: the sparsity mask must never change results.
+
+Found by the property suite: an operator above the masking multiplication
+that maps 0 to non-zero (``+ eps``, a subtraction, a densifying unary) makes
+the never-computed cells observable — the mask must be declined there.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FuseMEEngine
+from repro.core.plan import PartialFusionPlan
+from repro.core.spaces import find_sparsity_mask, plan_layout
+from repro.lang import DAG, evaluate, exp, log, matrix_input, sq, sum_of
+from repro.matrix import rand_dense, rand_sparse
+
+from tests.conftest import make_config
+
+BS = 25
+M, N, K = 100, 75, 50
+
+
+@pytest.fixture
+def data():
+    return {
+        "X": rand_sparse(M, N, 0.1, BS, seed=11),
+        "U": rand_dense(M, K, BS, seed=12),
+        "V": rand_dense(N, K, BS, seed=13),
+    }
+
+
+def leaves():
+    return (
+        matrix_input("X", M, N, BS, density=0.1),
+        matrix_input("U", M, K, BS),
+        matrix_input("V", N, K, BS),
+    )
+
+
+def mask_of(expr):
+    dag = DAG(expr.node)
+    plan = PartialFusionPlan(set(dag.operators()), dag)
+    layout = plan_layout(plan)
+    return find_sparsity_mask(plan, layout.mm, layout.tree)
+
+
+def check_engine(expr, data):
+    result = FuseMEEngine(make_config()).execute(expr, data)
+    expected = evaluate(
+        DAG(expr.node).roots[0], {k: m.to_numpy() for k, m in data.items()}
+    )
+    np.testing.assert_allclose(
+        result.output().to_numpy(), np.atleast_2d(expected), atol=1e-7
+    )
+
+
+class TestMaskDeclined:
+    def test_scalar_add_above_mask(self, data):
+        x, u, v = leaves()
+        expr = (x * (u @ v.T)) + 0.5
+        assert mask_of(expr) is None
+        check_engine(expr, data)
+
+    def test_densifying_unary_above_mask(self, data):
+        x, u, v = leaves()
+        expr = exp(x * (u @ v.T))
+        assert mask_of(expr) is None
+        check_engine(expr, data)
+
+    def test_matrix_sub_above_mask(self, data):
+        x, u, v = leaves()
+        expr = (x * (u @ v.T)) - x
+        assert mask_of(expr) is None
+        check_engine(expr, data)
+
+    def test_scalar_div_from_left_above_mask(self, data):
+        x, u, v = leaves()
+        expr = 1.0 / ((x * (u @ v.T)) + 1.0)
+        assert mask_of(expr) is None
+        check_engine(expr, data)
+
+
+class TestMaskAccepted:
+    def test_mask_at_root(self, data):
+        x, u, v = leaves()
+        expr = x * log(u @ v.T + 1e-8)
+        assert mask_of(expr) is not None
+        check_engine(expr, data)
+
+    def test_scalar_mul_above_mask(self, data):
+        x, u, v = leaves()
+        expr = (x * (u @ v.T)) * 2.0
+        assert mask_of(expr) is not None
+        check_engine(expr, data)
+
+    def test_zero_preserving_unary_above_mask(self, data):
+        x, u, v = leaves()
+        expr = sq(x * (u @ v.T))
+        assert mask_of(expr) is not None
+        check_engine(expr, data)
+
+    def test_aggregation_above_mask(self, data):
+        x, u, v = leaves()
+        expr = sum_of(x * sq(x - u @ v.T))
+        assert mask_of(expr) is not None
+        check_engine(expr, data)
+
+    def test_scalar_div_from_right_above_mask(self, data):
+        x, u, v = leaves()
+        expr = (x * (u @ v.T)) / 3.0
+        assert mask_of(expr) is not None
+        check_engine(expr, data)

@@ -1,0 +1,97 @@
+"""Tests for the (P*, Q*, R*) optimizer: pruned vs exhaustive agreement."""
+
+import pytest
+
+from repro.core.optimizer import optimize_parameters
+from repro.core.plan import PartialFusionPlan
+from repro.lang import DAG, log, matrix_input
+
+from tests.conftest import make_config
+
+
+def nmf_plan(i_blocks=8, j_blocks=6, k_blocks=2, bs=25, density=0.05):
+    rows, cols, common = i_blocks * bs, j_blocks * bs, k_blocks * bs
+    x = matrix_input("X", rows, cols, bs, density=density)
+    u = matrix_input("U", rows, common, bs)
+    v = matrix_input("V", cols, common, bs)
+    dag = DAG((x * log(u @ v.T + 1e-8)).node)
+    return PartialFusionPlan(set(dag.operators()), dag)
+
+
+class TestSearch:
+    def test_pruned_matches_exhaustive_cost(self):
+        plan = nmf_plan()
+        config = make_config()
+        pruned = optimize_parameters(plan, config, method="pruned")
+        exhaustive = optimize_parameters(plan, config, method="exhaustive")
+        assert pruned.feasible and exhaustive.feasible
+        assert pruned.cost.cost_seconds <= exhaustive.cost.cost_seconds * 1.001
+
+    def test_pruned_evaluates_far_fewer_candidates(self):
+        plan = nmf_plan(i_blocks=12, j_blocks=12, k_blocks=6)
+        config = make_config()
+        pruned = optimize_parameters(plan, config, method="pruned")
+        exhaustive = optimize_parameters(plan, config, method="exhaustive")
+        assert pruned.evaluations < exhaustive.evaluations / 5
+
+    def test_result_within_bounds(self):
+        plan = nmf_plan()
+        result = optimize_parameters(plan, make_config())
+        p, q, r = result.pqr
+        assert 1 <= p <= 8 and 1 <= q <= 6 and 1 <= r <= 2
+
+    def test_parallelism_constraint_respected(self):
+        """P*Q*R >= N*Tc whenever the space allows it."""
+        plan = nmf_plan(i_blocks=8, j_blocks=6, k_blocks=4)
+        config = make_config(num_nodes=2, tasks_per_node=4)
+        result = optimize_parameters(plan, config, method="pruned")
+        p, q, r = result.pqr
+        assert p * q * r >= 8
+
+    def test_small_space_uses_maximal_parameters(self):
+        """I*J*K < T: the paper sets parameters as large as possible."""
+        plan = nmf_plan(i_blocks=2, j_blocks=1, k_blocks=1)
+        config = make_config(num_nodes=8, tasks_per_node=12)
+        result = optimize_parameters(plan, config, method="pruned")
+        assert result.pqr == (2, 1, 1)
+
+    def test_infeasible_plan_reports_infinite_cost(self):
+        plan = nmf_plan()
+        config = make_config(task_memory_budget=8)
+        result = optimize_parameters(plan, config)
+        assert not result.feasible
+        assert result.cost.cost_seconds == float("inf")
+        assert result.pqr == (8, 6, 2)  # maximal partitioning
+
+    def test_unknown_method_rejected(self):
+        from repro.errors import OptimizerError
+
+        with pytest.raises(OptimizerError):
+            optimize_parameters(nmf_plan(), make_config(), method="magic")
+
+
+class TestMemoryPressure:
+    def test_tighter_budget_forces_finer_partitioning(self):
+        plan = nmf_plan(i_blocks=8, j_blocks=8, k_blocks=4, density=1.0)
+        roomy = optimize_parameters(plan, make_config()).pqr
+        # budget sized so only fine partitionings fit
+        tight_config = make_config(task_memory_budget=300_000)
+        tight = optimize_parameters(plan, tight_config).pqr
+        assert tight[0] * tight[1] * tight[2] >= roomy[0] * roomy[1] * roomy[2]
+
+    def test_dense_output_accounted(self):
+        """A dense 8x8-block output must fit per task: X + O dominate at
+        640 KB, so with a 100 KB budget P*Q must reach at least 7."""
+        from repro.core.cost import CostModel
+
+        plan = nmf_plan(i_blocks=8, j_blocks=8, k_blocks=1, density=1.0)
+        config = make_config(task_memory_budget=100_000)
+        result = optimize_parameters(plan, config)
+        assert result.feasible
+        p, q, r = result.pqr
+        assert p * q >= 7
+        model = CostModel(config)
+        from repro.core.spaces import plan_layout
+
+        tree = plan_layout(plan).tree
+        assert model.mem_est(plan, tree, result.pqr) <= 100_000

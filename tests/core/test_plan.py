@@ -1,0 +1,146 @@
+"""Unit tests for partial fusion plans and fusion plans."""
+
+import pytest
+
+from repro.core.plan import FusionPlan, PartialFusionPlan, PlanUnit
+from repro.errors import PlanError
+from repro.lang import DAG, log, matrix_input
+
+
+def nmf_dag():
+    x = matrix_input("X", 100, 75, 25, density=0.1)
+    u = matrix_input("U", 100, 50, 25)
+    v = matrix_input("V", 75, 50, 25)
+    expr = x * log(u @ v.T + 1e-8)
+    return DAG(expr.node)
+
+
+class TestPartialFusionPlan:
+    def test_root_detection(self):
+        dag = nmf_dag()
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        assert plan.root.label() == "b(mul)"
+
+    def test_empty_rejected(self):
+        dag = nmf_dag()
+        with pytest.raises(PlanError):
+            PartialFusionPlan(set(), dag)
+
+    def test_input_nodes_rejected(self):
+        dag = nmf_dag()
+        with pytest.raises(PlanError):
+            PartialFusionPlan(set(dag.nodes()), dag)
+
+    def test_multiple_roots_rejected(self):
+        dag = nmf_dag()
+        ops = list(dag.operators())
+        # transpose and the top mul are disconnected without the middle ops
+        disconnected = {ops[0], ops[-1]}
+        with pytest.raises(PlanError):
+            PartialFusionPlan(disconnected, dag)
+
+    def test_frontier_are_inputs(self):
+        dag = nmf_dag()
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        names = sorted(n.name for n in plan.frontier())
+        assert names == ["U", "V", "X"]
+
+    def test_frontier_of_sub_plan_includes_cut_edge(self):
+        dag = nmf_dag()
+        mm = dag.matmul_nodes()[0]
+        top = [n for n in dag.operators() if n.label() == "b(mul)"][0]
+        plan = PartialFusionPlan({top}, dag)
+        frontier = plan.frontier()
+        assert len(frontier) == 2  # X and the log-chain output
+
+    def test_topo_nodes_order(self):
+        dag = nmf_dag()
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        nodes = plan.topo_nodes()
+        pos = {n: i for i, n in enumerate(nodes)}
+        for node in nodes:
+            for child in node.inputs:
+                if child in plan.nodes:
+                    assert pos[child] < pos[node]
+
+    def test_main_matmul(self):
+        dag = nmf_dag()
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        assert plan.main_matmul() is dag.matmul_nodes()[0]
+
+    def test_main_matmul_requires_matmul(self):
+        dag = nmf_dag()
+        top = [n for n in dag.operators() if n.label() == "b(mul)"][0]
+        plan = PartialFusionPlan({top}, dag)
+        with pytest.raises(PlanError):
+            plan.main_matmul()
+
+    def test_split(self):
+        dag = nmf_dag()
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        mm = plan.main_matmul()
+        remainder, split_off = plan.split(mm)
+        assert mm in split_off.nodes
+        assert mm not in remainder.nodes
+        assert split_off.root is mm
+        assert len(remainder) + len(split_off) == len(plan)
+
+    def test_split_at_root_rejected(self):
+        dag = nmf_dag()
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        with pytest.raises(PlanError):
+            plan.split(plan.root)
+
+    def test_descendants_within(self):
+        dag = nmf_dag()
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        descendants = plan.descendants_within(plan.root)
+        assert descendants == plan.nodes
+
+
+class TestFusionPlan:
+    def test_all_operators_covered(self):
+        dag = nmf_dag()
+        unit = PlanUnit(plan=PartialFusionPlan(set(dag.operators()), dag))
+        fp = FusionPlan(dag, [unit])
+        assert len(fp) == 1
+
+    def test_missing_operator_rejected(self):
+        dag = nmf_dag()
+        ops = list(dag.operators())
+        partial = PartialFusionPlan(set(ops[:-1]), dag)
+        with pytest.raises(PlanError, match="does not cover"):
+            FusionPlan(dag, [PlanUnit(plan=partial)])
+
+    def test_double_coverage_rejected(self):
+        dag = nmf_dag()
+        whole = PartialFusionPlan(set(dag.operators()), dag)
+        with pytest.raises(PlanError, match="covered twice"):
+            FusionPlan(dag, [PlanUnit(plan=whole), PlanUnit(plan=whole)])
+
+    def test_dependency_order_enforced(self):
+        dag = nmf_dag()
+        mm = dag.matmul_nodes()[0]
+        whole = PartialFusionPlan(set(dag.operators()), dag)
+        remainder, split_off = whole.split(mm)
+        with pytest.raises(PlanError, match="unproduced"):
+            FusionPlan(dag, [PlanUnit(plan=remainder), PlanUnit(plan=split_off)])
+        # correct order passes
+        fp = FusionPlan(dag, [PlanUnit(plan=split_off), PlanUnit(plan=remainder)])
+        assert fp.units[0].output is mm
+
+    def test_is_fused_flag(self):
+        dag = nmf_dag()
+        whole = PartialFusionPlan(set(dag.operators()), dag)
+        mm = dag.matmul_nodes()[0]
+        remainder, split_off = whole.split(mm)
+        single = PlanUnit(plan=PartialFusionPlan({mm}, dag))
+        assert not single.is_fused
+        assert PlanUnit(plan=remainder).is_fused
+
+    def test_dump(self):
+        dag = nmf_dag()
+        fp = FusionPlan(
+            dag, [PlanUnit(plan=PartialFusionPlan(set(dag.operators()), dag))]
+        )
+        assert "fused" in fp.dump()

@@ -1,0 +1,181 @@
+"""Tests for the 3-D model space: axis tags, space trees, sparsity masks."""
+
+import pytest
+
+from repro.core.plan import PartialFusionPlan
+from repro.core.spaces import (
+    AxisKind,
+    SpaceKind,
+    assign_axis_tags,
+    build_space_tree,
+    find_sparsity_mask,
+    plan_layout,
+)
+from repro.lang import DAG, log, matrix_input, nnz_mask, sq, sum_of
+
+
+def nmf_plan():
+    x = matrix_input("X", 200, 150, 25, density=0.05)
+    u = matrix_input("U", 200, 50, 25)
+    v = matrix_input("V", 150, 50, 25)
+    expr = x * log(u @ v.T + 1e-8)
+    dag = DAG(expr.node)
+    return PartialFusionPlan(set(dag.operators()), dag), dag
+
+
+def gnmf_u_plan():
+    """U * (V^T X) / (V^T V U): nested multiplications in O-space."""
+    x = matrix_input("X", 200, 150, 25, density=0.05)
+    u = matrix_input("U", 50, 150, 25)
+    v = matrix_input("V", 200, 50, 25)
+    expr = u * (v.T @ x) / (v.T @ v @ u)
+    dag = DAG(expr.node)
+    return PartialFusionPlan(set(dag.operators()), dag), dag
+
+
+class TestAxisTags:
+    def test_mm_gets_ij(self):
+        plan, dag = nmf_plan()
+        mm = plan.main_matmul()
+        tags = assign_axis_tags(plan, mm)
+        tag = tags.operator_tags[mm]
+        assert (tag[0].kind, tag[1].kind) == (AxisKind.I, AxisKind.J)
+
+    def test_operands_get_ik_kj(self):
+        plan, dag = nmf_plan()
+        mm = plan.main_matmul()
+        tags = assign_axis_tags(plan, mm)
+        left = tags.tag_of_operand(mm, 0)
+        right = tags.tag_of_operand(mm, 1)
+        assert (left[0].kind, left[1].kind) == (AxisKind.I, AxisKind.K)
+        assert (right[0].kind, right[1].kind) == (AxisKind.K, AxisKind.J)
+
+    def test_transpose_swaps(self):
+        plan, dag = nmf_plan()
+        mm = plan.main_matmul()
+        tags = assign_axis_tags(plan, mm)
+        transpose = next(n for n in plan.nodes if n.label() == "r(T)")
+        v_edge = tags.tag_of_operand(transpose, 0)
+        # V itself is J x K, the transpose flips it into the (K, J) plane
+        assert (v_edge[0].kind, v_edge[1].kind) == (AxisKind.J, AxisKind.K)
+
+    def test_o_space_aligned_with_ij(self):
+        plan, dag = nmf_plan()
+        mm = plan.main_matmul()
+        tags = assign_axis_tags(plan, mm)
+        root_tag = tags.operator_tags[plan.root]
+        assert (root_tag[0].kind, root_tag[1].kind) == (AxisKind.I, AxisKind.J)
+
+    def test_nested_mm_gets_private_contraction(self):
+        plan, dag = gnmf_u_plan()
+        layout = plan_layout(plan)
+        # every frontier edge tag is fully assigned
+        for node in plan.topo_nodes():
+            for idx, child in enumerate(node.inputs):
+                if child not in plan.nodes:
+                    assert (node, idx) in layout.tags.frontier_tags
+        kinds = {
+            (t[0].kind, t[1].kind)
+            for t in layout.tags.frontier_tags.values()
+        }
+        assert any(AxisKind.PRIVATE in pair for pair in kinds)
+
+
+class TestSpaceTree:
+    def test_nmf_spaces(self):
+        plan, dag = nmf_plan()
+        tree = build_space_tree(plan)
+        assert tree.space(SpaceKind.L).materialized  # U feeds the left side
+        assert tree.space(SpaceKind.R).operators  # the transpose of V
+        o_labels = [n.label() for n in tree.space(SpaceKind.O).operators]
+        assert "b(mul)" in o_labels and "u(log)" in o_labels
+
+    def test_gnmf_nested_in_o_space(self):
+        plan, dag = gnmf_u_plan()
+        tree = build_space_tree(plan)
+        o_space = tree.space(SpaceKind.O)
+        assert len(o_space.nested) == 1  # the (V^T V) U chain
+        inner = o_space.nested[0]
+        assert inner.all_nested() or inner.spaces  # recursively built
+
+    def test_all_nested_collects_recursively(self):
+        plan, dag = gnmf_u_plan()
+        tree = build_space_tree(plan)
+        nested = tree.all_nested()
+        assert len(nested) == 2  # (V^T V) U  and  V^T V
+
+    def test_produces_output_only_outermost(self):
+        plan, dag = gnmf_u_plan()
+        tree = build_space_tree(plan)
+        assert tree.produces_output
+        assert all(not n.produces_output for n in tree.all_nested())
+
+
+class TestSparsityMask:
+    def test_nmf_mask_found(self):
+        plan, dag = nmf_plan()
+        layout = plan_layout(plan)
+        mask = find_sparsity_mask(plan, layout.mm, layout.tree)
+        assert mask is not None
+        assert mask.mask_mul is plan.root
+
+    def test_als_mask_found_through_mask_chain(self):
+        x = matrix_input("X", 100, 75, 25, density=0.02)
+        u = matrix_input("U", 100, 50, 25)
+        v = matrix_input("V", 50, 75, 25)
+        expr = sum_of(nnz_mask(x) * sq(x - u @ v))
+        dag = DAG(expr.node)
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        layout = plan_layout(plan)
+        mask = find_sparsity_mask(plan, layout.mm, layout.tree)
+        assert mask is not None
+
+    def test_dense_mask_rejected(self):
+        x = matrix_input("X", 100, 75, 25, density=0.9)
+        u = matrix_input("U", 100, 50, 25)
+        v = matrix_input("V", 50, 75, 25)
+        dag = DAG((x * (u @ v)).node)
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        layout = plan_layout(plan)
+        assert find_sparsity_mask(plan, layout.mm, layout.tree) is None
+
+    def test_nested_mm_in_o_space_blocks_mask(self):
+        plan, dag = gnmf_u_plan()
+        layout = plan_layout(plan)
+        assert find_sparsity_mask(plan, layout.mm, layout.tree) is None
+
+    def test_escaping_path_blocks_mask(self):
+        """If the product also reaches the root around the mask, no mask."""
+        x = matrix_input("X", 100, 75, 25, density=0.02)
+        u = matrix_input("U", 100, 50, 25)
+        v = matrix_input("V", 50, 75, 25)
+        product = u @ v
+        expr = (x * product) + product  # second path escapes the mul
+        dag = DAG(expr.node)
+        # product has 2 consumers, so a fused plan containing both paths
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        layout = plan_layout(plan)
+        assert find_sparsity_mask(plan, layout.mm, layout.tree) is None
+
+
+class TestPlanLayout:
+    def test_layout_mm_is_largest(self):
+        plan, dag = gnmf_u_plan()
+        layout = plan_layout(plan)
+        volumes = {
+            m: m.inputs[0].meta.rows * m.inputs[1].meta.cols * m.common_dim
+            for m in plan.matmuls()
+        }
+        assert volumes[layout.mm] == max(volumes.values())
+
+    def test_layout_falls_back_when_root_contracts_stream(self):
+        """((X @ U) @ W): the root multiplication contracts the product of
+        the larger one; the layout must still ground the output."""
+        x = matrix_input("X", 200, 150, 25)
+        u = matrix_input("U", 150, 100, 25)
+        w = matrix_input("W", 100, 50, 25)
+        dag = DAG(((x @ u) @ w).node)
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        layout = plan_layout(plan)
+        root_tag = layout.tags.operator_tags[plan.root]
+        assert {root_tag[0].kind, root_tag[1].kind} <= {AxisKind.I, AxisKind.J}

@@ -1,0 +1,113 @@
+"""Tests for synthetic and real-shaped dataset builders."""
+
+import pytest
+
+from repro.datasets import (
+    REAL_DATASETS,
+    SyntheticCase,
+    common_dimension_cases,
+    density_cases,
+    density_skewed_matrix,
+    load_real_dataset,
+    nmf_inputs,
+    two_large_dimension_cases,
+)
+from repro.errors import DataError
+
+BS = 25
+
+
+class TestSyntheticCases:
+    def test_two_large_dimensions_series(self):
+        cases = two_large_dimension_cases(scale=2500)
+        assert [c.paper_rows for c in cases] == [100_000, 250_000, 500_000, 750_000]
+        assert all(c.density == 0.001 for c in cases)
+        assert all(c.paper_common == 2_000 for c in cases)
+
+    def test_common_dimension_series(self):
+        cases = common_dimension_cases(scale=2500)
+        assert [c.paper_common for c in cases] == [2_000, 5_000, 10_000, 50_000]
+        assert all(c.density == 0.2 for c in cases)
+
+    def test_density_series(self):
+        cases = density_cases()
+        assert [c.density for c in cases] == [0.05, 0.1, 0.5, 1.0]
+
+    def test_scaling(self):
+        case = SyntheticCase("t", 100_000, 2_000, 100_000, 0.1, scale=1000)
+        assert case.rows == 100
+        assert case.common == 2
+        assert case.cols == 100
+
+    def test_nmf_inputs_shapes_snap_to_blocks(self):
+        case = SyntheticCase("t", 100_000, 2_000, 150_000, 0.05, scale=1000)
+        inputs = nmf_inputs(case, block_size=BS, seed=0)
+        x, u, v = inputs["X"], inputs["U"], inputs["V"]
+        assert x.shape[0] % BS == 0 and x.shape[1] % BS == 0
+        assert u.shape == (x.shape[0], BS)  # common dim snapped up to 1 block
+        assert v.shape == (x.shape[1], BS)
+
+    def test_nmf_inputs_density(self):
+        case = SyntheticCase("t", 200_000, 50_000, 150_000, 0.1, scale=1000)
+        inputs = nmf_inputs(case, block_size=BS, seed=0)
+        assert inputs["X"].density == pytest.approx(0.1, rel=0.2)
+
+    def test_nmf_inputs_reproducible(self):
+        case = SyntheticCase("t", 100_000, 2_000, 100_000, 0.05, scale=1000)
+        a = nmf_inputs(case, BS, seed=5)
+        b = nmf_inputs(case, BS, seed=5)
+        assert a["X"].allclose(b["X"])
+
+
+class TestSkewGenerator:
+    def test_top_rows_denser(self):
+        m = density_skewed_matrix(
+            200, 100, dense_fraction=0.25, dense_density=0.5,
+            sparse_density=0.01, block_size=BS, seed=0,
+        )
+        arr = m.to_numpy()
+        top_density = (arr[:50] != 0).mean()
+        bottom_density = (arr[50:] != 0).mean()
+        assert top_density > 10 * bottom_density
+
+    def test_bad_fraction(self):
+        with pytest.raises(DataError):
+            density_skewed_matrix(100, 100, 1.5, 0.5, 0.01)
+
+
+class TestRealDatasets:
+    def test_table2_statistics(self):
+        movielens = REAL_DATASETS["MovieLens"]
+        assert movielens.users == 283_228
+        assert movielens.items == 58_098
+        assert movielens.nonzeros == 27_753_444
+        assert REAL_DATASETS["YahooMusic"].nonzeros == 717_872_016
+
+    def test_density_ordering(self):
+        """Netflix is the densest of the three rating matrices."""
+        d = {name: spec.density for name, spec in REAL_DATASETS.items()}
+        assert d["Netflix"] > d["MovieLens"]
+        assert d["Netflix"] > d["YahooMusic"]
+
+    def test_load_scaled(self):
+        m = load_real_dataset("MovieLens", scale=2000, block_size=BS, seed=0)
+        spec = REAL_DATASETS["MovieLens"]
+        assert m.shape[0] % BS == 0
+        assert m.shape[0] >= spec.users // 2000
+        assert m.density == pytest.approx(spec.density, rel=0.5)
+
+    def test_aspect_ratio_preserved_roughly(self):
+        m = load_real_dataset("Netflix", scale=500, block_size=BS)
+        users, items = m.shape
+        paper_ratio = REAL_DATASETS["Netflix"].users / REAL_DATASETS["Netflix"].items
+        assert users / items == pytest.approx(paper_ratio, rel=0.6)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataError):
+            load_real_dataset("Spotify")
+
+    def test_ratings_in_range(self):
+        m = load_real_dataset("MovieLens", scale=4000, block_size=BS)
+        values = m.to_numpy()
+        nonzero = values[values != 0]
+        assert nonzero.min() >= 1.0 and nonzero.max() < 5.0

@@ -1,0 +1,116 @@
+"""Property-based integration tests: fusion never changes results.
+
+Random expression trees over fixed inputs are executed by FuseME (fully
+fused) and checked against the reference interpreter, across random
+partitionings — the library's core safety invariant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import FuseMEEngine
+from repro.cluster import SimulatedCluster
+from repro.core.cfo import CuboidFusedOperator
+from repro.core.plan import PartialFusionPlan
+from repro.lang import DAG, Expr, evaluate, log, matrix_input, sq, sum_of
+from repro.matrix import rand_dense, rand_sparse
+
+from tests.conftest import make_config
+
+BS = 25
+M, N, K = 100, 75, 50
+
+
+def fixed_inputs():
+    return {
+        "X": rand_sparse(M, N, 0.1, BS, seed=11),
+        "U": rand_dense(M, K, BS, seed=12),
+        "V": rand_dense(N, K, BS, seed=13),
+    }
+
+
+INPUT_MATRICES = fixed_inputs()
+DENSE_ENV = {k: m.to_numpy() for k, m in INPUT_MATRICES.items()}
+
+
+def leaf_exprs():
+    return {
+        "X": matrix_input("X", M, N, BS, density=0.1),
+        "U": matrix_input("U", M, K, BS),
+        "V": matrix_input("V", N, K, BS),
+    }
+
+
+@st.composite
+def fused_expressions(draw):
+    """A random (I x J)-shaped expression around one U @ V^T product."""
+    leaves = leaf_exprs()
+    base = leaves["U"] @ leaves["V"].T
+    ops = draw(st.lists(
+        st.sampled_from(["mask", "add_eps", "log1p", "sq", "scale", "sub_x"]),
+        min_size=1, max_size=4,
+    ))
+    expr = base
+    for op in ops:
+        if op == "mask":
+            expr = leaves["X"] * expr
+        elif op == "add_eps":
+            expr = expr + 0.5
+        elif op == "log1p":
+            expr = log(expr * expr + 1.0)
+        elif op == "sq":
+            expr = sq(expr)
+        elif op == "scale":
+            expr = expr * 2.0
+        elif op == "sub_x":
+            expr = expr - leaves["X"]
+    if draw(st.booleans()):
+        expr = sum_of(expr)
+    return expr
+
+
+@settings(max_examples=25, deadline=None)
+@given(fused_expressions())
+def test_fuseme_matches_reference_on_random_expressions(expr):
+    engine = FuseMEEngine(make_config())
+    result = engine.execute(expr, INPUT_MATRICES)
+    expected = np.atleast_2d(evaluate(DAG(expr.node).roots[0], DENSE_ENV))
+    np.testing.assert_allclose(
+        result.output().to_numpy(), expected, atol=1e-7, rtol=1e-7
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 3), st.integers(1, 2))
+def test_cfo_partitioning_invariance(p, q, r):
+    """Any legal (P, Q, R) produces the same numbers."""
+    leaves = leaf_exprs()
+    expr = leaves["X"] * log(leaves["U"] @ leaves["V"].T + 1e-8)
+    dag = DAG(expr.node)
+    plan = PartialFusionPlan(set(dag.operators()), dag)
+    config = make_config()
+    cfo = CuboidFusedOperator(plan, config, pqr=(p, q, r))
+    out = cfo.execute(SimulatedCluster(config), INPUT_MATRICES)
+    expected = evaluate(dag.roots[0], DENSE_ENV)
+    np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 3), st.integers(1, 2))
+def test_cfo_net_cost_matches_closed_form(p, q, r):
+    """Measured consolidation equals R|X| + Q|U| + P|V| exactly (the
+    matrices are materialized, so no estimation error)."""
+    leaves = leaf_exprs()
+    expr = leaves["X"] * log(leaves["U"] @ leaves["V"].T + 1e-8)
+    dag = DAG(expr.node)
+    plan = PartialFusionPlan(set(dag.operators()), dag)
+    config = make_config()
+    cfo = CuboidFusedOperator(plan, config, pqr=(p, q, r))
+    cluster = SimulatedCluster(config)
+    cfo.execute(cluster, INPUT_MATRICES)
+    x, u, v = (INPUT_MATRICES[k] for k in ("X", "U", "V"))
+    expected = r * x.nbytes + q * u.nbytes + p * v.nbytes
+    measured = cluster.metrics.consolidation_bytes
+    # block-boundary slicing makes sparse sizes vary slightly per slab
+    assert measured == pytest.approx(expected, rel=0.12)

@@ -1,0 +1,129 @@
+"""Unit tests for the expression-building API."""
+
+import pytest
+
+from repro.lang import (
+    colsum,
+    exp,
+    log,
+    matrix_input,
+    max_of,
+    min_of,
+    nnz_mask,
+    rowsum,
+    sigmoid,
+    sq,
+    sqrt,
+    sum_of,
+)
+from repro.lang.dag import AggNode, BinaryNode, MatMulNode, TransposeNode, UnaryNode
+from repro.lang.ops import OpType
+
+
+@pytest.fixture
+def x():
+    return matrix_input("X", 100, 50, 25, density=0.2)
+
+
+@pytest.fixture
+def y():
+    return matrix_input("Y", 100, 50, 25)
+
+
+class TestOperators:
+    def test_add(self, x, y):
+        node = (x + y).node
+        assert isinstance(node, BinaryNode) and node.kernel == "add"
+
+    def test_radd_scalar(self, x):
+        node = (3.0 + x).node
+        assert node.kernel == "add" and node.scalar == 3.0
+        assert node.scalar_on_left
+
+    def test_sub_scalar(self, x):
+        node = (x - 1.5).node
+        assert node.kernel == "sub" and node.scalar == 1.5
+        assert not node.scalar_on_left
+
+    def test_rsub(self, x):
+        node = (1.0 - x).node
+        assert node.scalar_on_left
+
+    def test_mul_div(self, x, y):
+        assert (x * y).node.kernel == "mul"
+        assert (x / y).node.kernel == "div"
+
+    def test_rtruediv(self, x):
+        node = (1.0 / x).node
+        assert node.kernel == "div" and node.scalar_on_left
+
+    def test_pow_two_becomes_square(self, x):
+        node = (x ** 2).node
+        assert isinstance(node, UnaryNode) and node.kernel == "sq"
+
+    def test_pow_other(self, x):
+        node = (x ** 3).node
+        assert isinstance(node, BinaryNode) and node.kernel == "pow"
+
+    def test_neg(self, x):
+        assert (-x).node.kernel == "neg"
+
+    def test_comparison_masks(self, x):
+        assert (x != 0.0).node.kernel == "neq"
+        assert (x > 0.5).node.kernel == "gt"
+        assert (x < 0.5).node.kernel == "lt"
+
+    def test_min_max_elementwise(self, x, y):
+        assert x.minimum(y).node.kernel == "min"
+        assert x.maximum(0.0).node.kernel == "max"
+
+    def test_matmul(self, x):
+        w = matrix_input("W", 50, 30, 25)
+        node = (x @ w).node
+        assert isinstance(node, MatMulNode)
+        assert node.meta.shape == (100, 30)
+
+    def test_matmul_rejects_scalar(self, x):
+        with pytest.raises(TypeError):
+            x @ 2.0
+
+    def test_transpose(self, x):
+        node = x.T.node
+        assert isinstance(node, TransposeNode)
+        assert x.T.shape == (50, 100)
+
+
+class TestHelpers:
+    @pytest.mark.parametrize(
+        "fn,kernel",
+        [(log, "log"), (exp, "exp"), (sigmoid, "sigmoid"), (sq, "sq"),
+         (sqrt, "sqrt")],
+    )
+    def test_unary_helpers(self, x, fn, kernel):
+        node = fn(x).node
+        assert isinstance(node, UnaryNode) and node.kernel == kernel
+
+    def test_nnz_mask(self, x):
+        node = nnz_mask(x).node
+        assert node.kernel == "neq" and node.scalar == 0.0
+        assert node.meta.density == pytest.approx(0.2)
+
+    @pytest.mark.parametrize(
+        "fn,kernel",
+        [(sum_of, "sum"), (rowsum, "rowSum"), (colsum, "colSum"),
+         (min_of, "min"), (max_of, "max")],
+    )
+    def test_agg_helpers(self, x, fn, kernel):
+        node = fn(x).node
+        assert isinstance(node, AggNode) and node.kernel == kernel
+
+    def test_matrix_input_with_meta(self):
+        from repro.matrix import MatrixMeta
+
+        meta = MatrixMeta(10, 20, 5, 0.5)
+        e = matrix_input("Z", 0, 0, meta=meta)
+        assert e.meta is meta
+        assert e.node.op_type is OpType.INPUT
+
+    def test_expr_repr(self, x):
+        assert "X" in repr(x)

@@ -1,0 +1,100 @@
+"""Tests for the numpy reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.lang import (
+    colsum,
+    evaluate,
+    evaluate_many,
+    log,
+    matrix_input,
+    nnz_mask,
+    rowsum,
+    sq,
+    sum_of,
+)
+
+
+@pytest.fixture
+def env(rng):
+    return {
+        "X": rng.uniform(size=(40, 30)) * (rng.uniform(size=(40, 30)) < 0.3),
+        "U": rng.uniform(size=(40, 10)),
+        "V": rng.uniform(size=(30, 10)),
+    }
+
+
+@pytest.fixture
+def exprs():
+    x = matrix_input("X", 40, 30, 25, density=0.3)
+    u = matrix_input("U", 40, 10, 25)
+    v = matrix_input("V", 30, 10, 25)
+    return x, u, v
+
+
+class TestEvaluate:
+    def test_elementwise_chain(self, env, exprs):
+        x, u, v = exprs
+        got = evaluate((x * 2.0 + 1.0).node, env)
+        np.testing.assert_allclose(got, env["X"] * 2.0 + 1.0)
+
+    def test_matmul_with_transpose(self, env, exprs):
+        x, u, v = exprs
+        got = evaluate((u @ v.T).node, env)
+        np.testing.assert_allclose(got, env["U"] @ env["V"].T)
+
+    def test_full_nmf_query(self, env, exprs):
+        x, u, v = exprs
+        got = evaluate((x * log(u @ v.T + 1e-8)).node, env)
+        expected = env["X"] * np.log(env["U"] @ env["V"].T + 1e-8)
+        np.testing.assert_allclose(got, expected)
+
+    def test_als_loss(self, env, exprs):
+        x, u, v = exprs
+        got = evaluate(sum_of(nnz_mask(x) * sq(x - u @ v.T)).node, env)
+        expected = np.sum(
+            (env["X"] != 0) * (env["X"] - env["U"] @ env["V"].T) ** 2
+        )
+        np.testing.assert_allclose(got, expected)
+
+    def test_aggregations(self, env, exprs):
+        x, _, _ = exprs
+        np.testing.assert_allclose(
+            evaluate(rowsum(x).node, env), env["X"].sum(axis=1, keepdims=True)
+        )
+        np.testing.assert_allclose(
+            evaluate(colsum(x).node, env), env["X"].sum(axis=0, keepdims=True)
+        )
+
+    def test_scalar_on_left(self, env, exprs):
+        x, _, _ = exprs
+        got = evaluate((1.0 - x).node, env)
+        np.testing.assert_allclose(got, 1.0 - env["X"])
+
+    def test_binding_by_node_id(self, env, exprs):
+        x, u, v = exprs
+        mm = (u @ v.T).node
+        fake = np.ones((40, 30))
+        got = evaluate((x * mm_expr(mm)).node, {**env, mm.node_id: fake})
+        np.testing.assert_allclose(got, env["X"])
+
+    def test_missing_binding_raises(self, exprs):
+        x, _, _ = exprs
+        with pytest.raises(PlanError):
+            evaluate((x * 2.0).node, {})
+
+    def test_evaluate_many_shares_common_work(self, env, exprs):
+        x, u, v = exprs
+        product = u @ v.T
+        a, b = evaluate_many([(x * product).node, sum_of(product).node], env)
+        expected_product = env["U"] @ env["V"].T
+        np.testing.assert_allclose(a, env["X"] * expected_product)
+        np.testing.assert_allclose(b, expected_product.sum())
+
+
+def mm_expr(node):
+    from repro.lang.builder import Expr
+
+    return Expr(node)

@@ -1,0 +1,125 @@
+"""Tests for the DML-style expression parser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.lang import DAG, evaluate, matrix_input
+from repro.lang.parser import parse_expression
+
+
+@pytest.fixture
+def bindings():
+    return {
+        "X": matrix_input("X", 40, 30, 25, density=0.2),
+        "U": matrix_input("U", 10, 30, 25),
+        "V": matrix_input("V", 40, 10, 25),
+    }
+
+
+@pytest.fixture
+def arrays(rng):
+    return {
+        "X": rng.uniform(size=(40, 30)),
+        "U": rng.uniform(size=(10, 30)),
+        "V": rng.uniform(size=(40, 10)),
+    }
+
+
+def roundtrip(text, bindings, arrays):
+    expr = parse_expression(text, bindings)
+    return evaluate(DAG(expr.node).roots[0], arrays)
+
+
+class TestParsing:
+    def test_gnmf_update(self, bindings, arrays):
+        got = roundtrip(
+            "U * (t(V) %*% X) / (t(V) %*% V %*% U)", bindings, arrays
+        )
+        x, u, v = arrays["X"], arrays["U"], arrays["V"]
+        expected = u * (v.T @ x) / (v.T @ v @ u)
+        np.testing.assert_allclose(got, expected)
+
+    def test_nmf_query(self, bindings, arrays):
+        got = roundtrip("X * log(V %*% U + 0.0001)", bindings, arrays)
+        expected = arrays["X"] * np.log(arrays["V"] @ arrays["U"] + 1e-4)
+        np.testing.assert_allclose(got, expected)
+
+    def test_sum_aggregation(self, bindings, arrays):
+        got = roundtrip("sum(X * X)", bindings, arrays)
+        np.testing.assert_allclose(got, (arrays["X"] ** 2).sum())
+
+    def test_row_col_sums(self, bindings, arrays):
+        got = roundtrip("rowSums(X)", bindings, arrays)
+        np.testing.assert_allclose(got, arrays["X"].sum(axis=1, keepdims=True))
+        got = roundtrip("colSums(X)", bindings, arrays)
+        np.testing.assert_allclose(got, arrays["X"].sum(axis=0, keepdims=True))
+
+    def test_power(self, bindings, arrays):
+        got = roundtrip("(X - X * 0.5) ^ 2", bindings, arrays)
+        np.testing.assert_allclose(got, (arrays["X"] * 0.5) ** 2)
+
+    def test_scalar_arithmetic_folds(self, bindings, arrays):
+        got = roundtrip("X * (2 + 3)", bindings, arrays)
+        np.testing.assert_allclose(got, arrays["X"] * 5.0)
+
+    def test_unary_minus(self, bindings, arrays):
+        got = roundtrip("-X + 1", bindings, arrays)
+        np.testing.assert_allclose(got, 1.0 - arrays["X"])
+
+    def test_precedence_matmul_binds_tighter_than_mul(self, bindings, arrays):
+        got = roundtrip("X * t(t(X)) + V %*% U", bindings, arrays)
+        expected = arrays["X"] * arrays["X"] + arrays["V"] @ arrays["U"]
+        np.testing.assert_allclose(got, expected)
+
+    def test_scientific_notation(self, bindings, arrays):
+        got = roundtrip("X + 1e-3", bindings, arrays)
+        np.testing.assert_allclose(got, arrays["X"] + 1e-3)
+
+
+class TestErrors:
+    def test_unbound_name(self, bindings):
+        with pytest.raises(PlanError, match="unbound"):
+            parse_expression("X * Z", bindings)
+
+    def test_unknown_function(self, bindings):
+        with pytest.raises(PlanError, match="unknown function"):
+            parse_expression("frobnicate(X)", bindings)
+
+    def test_trailing_tokens(self, bindings):
+        with pytest.raises(PlanError, match="trailing"):
+            parse_expression("X X", bindings)
+
+    def test_unbalanced_parens(self, bindings):
+        with pytest.raises(PlanError):
+            parse_expression("(X * X", bindings)
+
+    def test_bare_scalar_rejected(self, bindings):
+        with pytest.raises(PlanError, match="scalar"):
+            parse_expression("1 + 2", bindings)
+
+    def test_matmul_needs_matrices(self, bindings):
+        with pytest.raises(PlanError):
+            parse_expression("2 %*% X", bindings)
+
+    def test_garbage_rejected(self, bindings):
+        with pytest.raises(PlanError):
+            parse_expression("X @ X", bindings)
+
+
+class TestEndToEnd:
+    def test_parsed_query_runs_on_engine(self, bindings, arrays):
+        from repro import FuseMEEngine
+        from repro.matrix import from_numpy
+        from tests.conftest import make_config
+
+        expr = parse_expression(
+            "U * (t(V) %*% X) / (t(V) %*% V %*% U + 1e-9)", bindings
+        )
+        inputs = {k: from_numpy(v, block_size=25) for k, v in arrays.items()}
+        result = FuseMEEngine(make_config()).execute(expr, inputs)
+        x, u, v = arrays["X"], arrays["U"], arrays["V"]
+        expected = u * (v.T @ x) / (v.T @ v @ u + 1e-9)
+        np.testing.assert_allclose(
+            result.output().to_numpy(), expected, atol=1e-8
+        )

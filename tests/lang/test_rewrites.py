@@ -1,0 +1,78 @@
+"""Tests for the plan rewriter."""
+
+import numpy as np
+
+from repro.lang import DAG, evaluate, matrix_input, simplify_dag
+from repro.lang.dag import BinaryNode, TransposeNode
+
+
+def count(dag: DAG, node_type) -> int:
+    return sum(isinstance(n, node_type) for n in dag.nodes())
+
+
+class TestDoubleTranspose:
+    def test_eliminated(self):
+        x = matrix_input("X", 40, 30, 25)
+        dag = simplify_dag(DAG(x.T.T.node))
+        assert count(dag, TransposeNode) == 0
+
+    def test_triple_transpose_leaves_one(self):
+        x = matrix_input("X", 40, 30, 25)
+        dag = simplify_dag(DAG(x.T.T.T.node))
+        assert count(dag, TransposeNode) == 1
+
+    def test_single_transpose_untouched(self):
+        x = matrix_input("X", 40, 30, 25)
+        dag = simplify_dag(DAG(x.T.node))
+        assert count(dag, TransposeNode) == 1
+
+
+class TestScalarFolding:
+    def test_add_chain_folds(self):
+        x = matrix_input("X", 10, 10, 25)
+        dag = simplify_dag(DAG((x + 1.0 + 2.0).node))
+        binaries = [n for n in dag.nodes() if isinstance(n, BinaryNode)]
+        assert len(binaries) == 1
+        assert binaries[0].scalar == 3.0
+
+    def test_mul_chain_folds(self):
+        x = matrix_input("X", 10, 10, 25)
+        dag = simplify_dag(DAG((x * 2.0 * 4.0).node))
+        binaries = [n for n in dag.nodes() if isinstance(n, BinaryNode)]
+        assert len(binaries) == 1
+        assert binaries[0].scalar == 8.0
+
+    def test_mixed_kernels_not_folded(self):
+        x = matrix_input("X", 10, 10, 25)
+        dag = simplify_dag(DAG((x + 1.0 * 1.0).node))  # add only
+        dag2 = simplify_dag(DAG(((x + 1.0) * 2.0).node))
+        assert count(dag2, BinaryNode) == 2
+
+    def test_sub_not_folded(self):
+        x = matrix_input("X", 10, 10, 25)
+        dag = simplify_dag(DAG((x - 1.0 - 2.0).node))
+        assert count(dag, BinaryNode) == 2
+
+
+class TestSemanticsPreserved:
+    def test_rewrites_preserve_value(self, rng):
+        x = matrix_input("X", 20, 30, 25)
+        u = matrix_input("U", 30, 10, 25)
+        expr = ((x.T.T @ u) * 2.0 * 3.0 + 1.0 + 1.0).T.T
+        dag = DAG(expr.node)
+        simplified = simplify_dag(dag)
+        env = {"X": rng.normal(size=(20, 30)), "U": rng.normal(size=(30, 10))}
+        np.testing.assert_allclose(
+            evaluate(dag.roots[0], env), evaluate(simplified.roots[0], env)
+        )
+        assert len(simplified) < len(dag)
+
+    def test_shared_subtrees_stay_shared(self):
+        x = matrix_input("X", 10, 10, 25)
+        shared = (x * 2.0).node
+        from repro.lang.dag import BinaryNode as B
+
+        root = B("add", shared, shared)
+        simplified = simplify_dag(DAG(root))
+        new_root = simplified.roots[0]
+        assert new_root.inputs[0] is new_root.inputs[1]

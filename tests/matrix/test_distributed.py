@@ -1,0 +1,121 @@
+"""Unit tests for BlockedMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import Block
+from repro.errors import BlockLayoutError
+from repro.matrix import BlockedMatrix, MatrixMeta, from_numpy, rand_sparse
+
+from tests.conftest import assert_matrix_close
+
+
+def checkerboard(rows=75, cols=50, bs=25) -> tuple[BlockedMatrix, np.ndarray]:
+    arr = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+    return from_numpy(arr, block_size=bs), arr
+
+
+class TestBasics:
+    def test_zero_matrix_stores_nothing(self):
+        m = BlockedMatrix(MatrixMeta(100, 100, 25, density=0.0))
+        assert m.num_stored_blocks == 0
+        assert m.nnz == 0
+
+    def test_get_block_materializes_zero(self):
+        m = BlockedMatrix(MatrixMeta(100, 100, 25, density=0.0))
+        block = m.get_block(1, 2)
+        assert block.shape == (25, 25)
+        assert block.nnz == 0
+
+    def test_set_block_validates_shape(self):
+        m = BlockedMatrix(MatrixMeta(100, 100, 25))
+        with pytest.raises(BlockLayoutError):
+            m.set_block(0, 0, Block(np.zeros((10, 25))))
+
+    def test_ragged_edge_block_shape(self):
+        m, arr = checkerboard(rows=60, cols=60, bs=25)
+        assert m.get_block(2, 2).shape == (10, 10)
+
+    def test_nnz_and_density(self):
+        m = rand_sparse(100, 100, 0.1, block_size=25, seed=0)
+        assert m.nnz == pytest.approx(1000, rel=0.3)
+        assert m.density == pytest.approx(0.1, rel=0.3)
+
+    def test_iter_blocks_sorted(self):
+        m, _ = checkerboard()
+        keys = [k for k, _ in m.iter_blocks()]
+        assert keys == sorted(keys)
+
+    def test_constructor_validates_blocks(self):
+        meta = MatrixMeta(50, 50, 25)
+        with pytest.raises(BlockLayoutError):
+            BlockedMatrix(meta, {(0, 0): Block(np.zeros((10, 10)))})
+
+
+class TestConversion:
+    def test_round_trip_dense(self):
+        m, arr = checkerboard()
+        assert_matrix_close(m, arr)
+
+    def test_to_scipy(self):
+        m = rand_sparse(60, 40, 0.1, block_size=25, seed=1)
+        np.testing.assert_allclose(
+            np.asarray(m.to_scipy().todense()), m.to_numpy()
+        )
+
+    def test_to_scipy_empty(self):
+        m = BlockedMatrix(MatrixMeta(10, 10, 25, density=0.0))
+        assert m.to_scipy().nnz == 0
+
+    def test_as_single_block_sparse_choice(self):
+        m = rand_sparse(100, 100, 0.01, block_size=25, seed=2)
+        assert m.as_single_block().is_sparse
+
+    def test_as_single_block_dense_choice(self):
+        m, arr = checkerboard()
+        block = m.as_single_block()
+        assert not block.is_sparse
+        np.testing.assert_allclose(block.to_numpy(), arr)
+
+    def test_as_single_block_empty(self):
+        m = BlockedMatrix(MatrixMeta(10, 10, 25, density=0.0))
+        assert m.as_single_block().nnz == 0
+
+
+class TestStructure:
+    def test_transpose(self):
+        m, arr = checkerboard()
+        assert_matrix_close(m.transpose(), arr.T)
+
+    def test_transpose_ragged(self):
+        m, arr = checkerboard(rows=60, cols=85, bs=25)
+        assert_matrix_close(m.transpose(), arr.T)
+
+    def test_block_slice_values(self):
+        m, arr = checkerboard(rows=100, cols=100, bs=25)
+        piece = m.block_slice((1, 3), (0, 2))
+        assert_matrix_close(piece, arr[25:75, 0:50])
+
+    def test_block_slice_full(self):
+        m, arr = checkerboard()
+        assert_matrix_close(m.block_slice((0, 3), (0, 2)), arr)
+
+    def test_block_slice_out_of_range(self):
+        m, _ = checkerboard()
+        with pytest.raises(BlockLayoutError):
+            m.block_slice((0, 99), (0, 1))
+
+    def test_block_slice_preserves_block_size(self):
+        m, _ = checkerboard()
+        assert m.block_slice((0, 1), (0, 1)).block_size == 25
+
+    def test_refreshed_meta_tracks_actual_density(self):
+        m = rand_sparse(100, 100, 0.05, block_size=25, seed=3)
+        refreshed = m.refreshed_meta()
+        assert refreshed.density == pytest.approx(m.density)
+
+    def test_allclose_detects_difference(self):
+        a, arr = checkerboard()
+        b = from_numpy(arr + 1.0, block_size=25)
+        assert not a.allclose(b)
+        assert a.allclose(from_numpy(arr, block_size=25))

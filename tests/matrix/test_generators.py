@@ -1,0 +1,130 @@
+"""Unit and property tests for matrix generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DataError
+from repro.matrix import (
+    from_numpy,
+    from_scipy,
+    identity,
+    ones,
+    rand_dense,
+    rand_sparse,
+    zeros,
+)
+
+
+class TestConversions:
+    def test_from_numpy_round_trip(self):
+        arr = np.random.default_rng(0).normal(size=(73, 41))
+        m = from_numpy(arr, block_size=20)
+        np.testing.assert_allclose(m.to_numpy(), arr)
+
+    def test_from_numpy_skips_zero_blocks(self):
+        arr = np.zeros((50, 50))
+        arr[0, 0] = 1.0
+        m = from_numpy(arr, block_size=25)
+        assert m.num_stored_blocks == 1
+
+    def test_from_scipy_round_trip(self):
+        csr = sp.random(80, 60, density=0.05, format="csr", random_state=1)
+        m = from_scipy(csr, block_size=25)
+        np.testing.assert_allclose(m.to_numpy(), np.asarray(csr.todense()))
+
+    def test_from_scipy_blocks_are_sparse(self):
+        csr = sp.random(80, 60, density=0.05, format="csr", random_state=1)
+        m = from_scipy(csr, block_size=25)
+        assert all(b.is_sparse for _, b in m.iter_blocks())
+
+    def test_from_scipy_empty(self):
+        m = from_scipy(sp.csr_matrix((30, 30)), block_size=25)
+        assert m.num_stored_blocks == 0
+
+
+class TestConstants:
+    def test_zeros(self):
+        assert zeros(40, 40, 25).nnz == 0
+
+    def test_ones(self):
+        m = ones(40, 30, 25)
+        assert m.to_numpy().sum() == 40 * 30
+
+    def test_identity(self):
+        m = identity(60, 25)
+        np.testing.assert_allclose(m.to_numpy(), np.eye(60))
+
+    def test_identity_stores_only_diagonal_blocks(self):
+        m = identity(75, 25)
+        assert m.num_stored_blocks == 3
+
+
+class TestRandom:
+    def test_rand_dense_reproducible(self):
+        a = rand_dense(50, 50, 25, seed=7)
+        b = rand_dense(50, 50, 25, seed=7)
+        assert a.allclose(b)
+
+    def test_rand_dense_seed_changes_values(self):
+        a = rand_dense(50, 50, 25, seed=7)
+        b = rand_dense(50, 50, 25, seed=8)
+        assert not a.allclose(b)
+
+    def test_rand_dense_range(self):
+        arr = rand_dense(50, 50, 25, seed=0, low=2.0, high=3.0).to_numpy()
+        assert arr.min() >= 2.0 and arr.max() < 3.0
+
+    def test_rand_dense_invalid_range(self):
+        with pytest.raises(DataError):
+            rand_dense(10, 10, 25, low=1.0, high=1.0)
+
+    def test_rand_sparse_density(self):
+        m = rand_sparse(200, 200, 0.05, 25, seed=0)
+        assert m.density == pytest.approx(0.05, rel=0.25)
+
+    def test_rand_sparse_reproducible(self):
+        a = rand_sparse(100, 100, 0.1, 25, seed=3)
+        b = rand_sparse(100, 100, 0.1, 25, seed=3)
+        assert a.allclose(b)
+
+    def test_rand_sparse_zero_density(self):
+        assert rand_sparse(100, 100, 0.0, 25).nnz == 0
+
+    def test_rand_sparse_full_density_is_dense(self):
+        m = rand_sparse(50, 50, 1.0, 25, seed=0)
+        assert m.nnz == 2500
+
+    def test_rand_sparse_high_density_path(self):
+        m = rand_sparse(100, 100, 0.7, 25, seed=0)
+        assert m.density == pytest.approx(0.7, rel=0.15)
+
+    def test_rand_sparse_invalid_density(self):
+        with pytest.raises(DataError):
+            rand_sparse(10, 10, 1.5, 25)
+
+    def test_values_never_exactly_zero(self):
+        m = rand_sparse(100, 100, 0.2, 25, seed=0, low=0.1, high=1.0)
+        stored = np.concatenate(
+            [b.to_sparse().data.data for _, b in m.iter_blocks()]
+        )
+        assert np.all(stored != 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 120), st.integers(1, 120),
+    st.sampled_from([10, 25, 64]),
+)
+def test_from_numpy_round_trip_property(rows, cols, bs):
+    arr = np.random.default_rng(rows * 1000 + cols).normal(size=(rows, cols))
+    np.testing.assert_allclose(from_numpy(arr, bs).to_numpy(), arr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(10, 80), st.floats(0.0, 0.4), st.integers(0, 5))
+def test_rand_sparse_nnz_bounded(n, density, seed):
+    m = rand_sparse(n, n, density, 25, seed=seed)
+    assert 0 <= m.nnz <= n * n
+    assert m.to_numpy().shape == (n, n)

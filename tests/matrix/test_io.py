@@ -1,0 +1,134 @@
+"""Round-trip tests for the npz block store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.matrix import from_numpy, rand_dense, rand_sparse, zeros
+from repro.matrix.io import (
+    load_matrix,
+    load_matrix_dir,
+    save_matrix,
+    save_matrix_dir,
+)
+
+
+class TestRoundTrip:
+    def test_dense(self, tmp_path):
+        m = rand_dense(75, 50, 25, seed=0)
+        path = tmp_path / "dense.npz"
+        save_matrix(m, path)
+        assert load_matrix(path).allclose(m)
+
+    def test_sparse(self, tmp_path):
+        m = rand_sparse(100, 100, 0.05, 25, seed=1)
+        path = tmp_path / "sparse.npz"
+        save_matrix(m, path)
+        loaded = load_matrix(path)
+        assert loaded.allclose(m)
+
+    def test_representation_preserved(self, tmp_path):
+        m = rand_sparse(100, 100, 0.05, 25, seed=1)
+        path = tmp_path / "sparse.npz"
+        save_matrix(m, path)
+        loaded = load_matrix(path)
+        for key, block in m.iter_blocks():
+            assert loaded.blocks[key].is_sparse == block.is_sparse
+
+    def test_empty_matrix(self, tmp_path):
+        m = zeros(50, 50, 25)
+        path = tmp_path / "empty.npz"
+        save_matrix(m, path)
+        loaded = load_matrix(path)
+        assert loaded.nnz == 0
+        assert loaded.shape == (50, 50)
+
+    def test_meta_preserved(self, tmp_path):
+        m = rand_sparse(100, 80, 0.1, 20, seed=2)
+        path = tmp_path / "m.npz"
+        save_matrix(m, path)
+        loaded = load_matrix(path)
+        assert loaded.meta.block_size == 20
+        assert loaded.shape == (100, 80)
+
+    def test_ragged_blocks(self, tmp_path):
+        arr = np.random.default_rng(0).normal(size=(53, 37))
+        m = from_numpy(arr, block_size=25)
+        path = tmp_path / "ragged.npz"
+        save_matrix(m, path)
+        np.testing.assert_allclose(load_matrix(path).to_numpy(), arr)
+
+
+class TestDirectoryStore:
+    def test_round_trip(self, tmp_path):
+        m = rand_sparse(175, 120, 0.1, 25, seed=4)
+        store = tmp_path / "store"
+        save_matrix_dir(m, store, rows_per_partition=3)
+        assert load_matrix_dir(store).allclose(m)
+
+    def test_manifest_lists_partitions(self, tmp_path):
+        import json
+
+        m = rand_dense(175, 50, 25, seed=5)  # 7 block rows
+        store = tmp_path / "store"
+        save_matrix_dir(m, store, rows_per_partition=3)
+        manifest = json.loads((store / "manifest.json").read_text())
+        assert len(manifest["partitions"]) == 3  # ceil(7 / 3)
+        stops = [p["block_row_stop"] for p in manifest["partitions"]]
+        assert stops[-1] == 7
+
+    def test_partition_files_exist(self, tmp_path):
+        m = rand_dense(100, 50, 25, seed=6)
+        store = tmp_path / "store"
+        save_matrix_dir(m, store, rows_per_partition=2)
+        parts = sorted(p.name for p in store.glob("part-*.npz"))
+        assert parts == ["part-00000.npz", "part-00001.npz"]
+
+    def test_overwrite_existing_store(self, tmp_path):
+        store = tmp_path / "store"
+        save_matrix_dir(rand_dense(50, 50, 25, seed=0), store)
+        second = rand_dense(100, 25, 25, seed=1)
+        save_matrix_dir(second, store)
+        assert load_matrix_dir(store).allclose(second)
+
+    def test_refuses_to_replace_non_store(self, tmp_path):
+        target = tmp_path / "notastore"
+        target.mkdir()
+        (target / "precious.txt").write_text("data")
+        with pytest.raises(DataError, match="refusing"):
+            save_matrix_dir(rand_dense(50, 50, 25, seed=0), target)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DataError, match="manifest"):
+            load_matrix_dir(tmp_path)
+
+    def test_bad_rows_per_partition(self, tmp_path):
+        with pytest.raises(DataError):
+            save_matrix_dir(rand_dense(50, 50, 25, seed=0),
+                            tmp_path / "s", rows_per_partition=0)
+
+    def test_empty_matrix(self, tmp_path):
+        store = tmp_path / "store"
+        save_matrix_dir(zeros(75, 75, 25), store)
+        loaded = load_matrix_dir(store)
+        assert loaded.nnz == 0
+        assert loaded.shape == (75, 75)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_matrix(tmp_path / "nope.npz")
+
+    def test_not_a_block_store(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(DataError):
+            load_matrix(path)
+
+    def test_overwrite(self, tmp_path):
+        path = tmp_path / "m.npz"
+        save_matrix(rand_dense(25, 25, 25, seed=0), path)
+        second = rand_dense(50, 50, 25, seed=1)
+        save_matrix(second, path)
+        assert load_matrix(path).allclose(second)

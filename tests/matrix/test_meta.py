@@ -1,0 +1,111 @@
+"""Unit tests for MatrixMeta: blocking arithmetic and size estimation."""
+
+import pytest
+
+from repro.errors import MatrixShapeError
+from repro.matrix import MatrixMeta
+
+
+class TestBlocking:
+    def test_exact_grid(self):
+        meta = MatrixMeta(200, 300, block_size=100)
+        assert meta.block_grid == (2, 3)
+        assert meta.num_blocks == 6
+
+    def test_ragged_grid(self):
+        meta = MatrixMeta(250, 301, block_size=100)
+        assert meta.block_grid == (3, 4)
+
+    def test_block_dims_interior(self):
+        meta = MatrixMeta(250, 301, block_size=100)
+        assert meta.block_dims(0, 0) == (100, 100)
+
+    def test_block_dims_ragged_edge(self):
+        meta = MatrixMeta(250, 301, block_size=100)
+        assert meta.block_dims(2, 3) == (50, 1)
+
+    def test_block_dims_out_of_range(self):
+        with pytest.raises(IndexError):
+            MatrixMeta(100, 100, 100).block_dims(1, 0)
+
+    def test_block_row_range_clipped(self):
+        meta = MatrixMeta(250, 100, block_size=100)
+        assert meta.block_row_range(2) == (200, 250)
+
+    def test_block_col_range(self):
+        meta = MatrixMeta(100, 250, block_size=100)
+        assert meta.block_col_range(1) == (100, 200)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(MatrixShapeError):
+            MatrixMeta(0, 10)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            MatrixMeta(10, 10, density=1.5)
+
+
+class TestSizeEstimation:
+    def test_dense_bytes(self):
+        meta = MatrixMeta(100, 100, density=1.0)
+        assert meta.estimated_bytes == 100 * 100 * 8
+
+    def test_sparse_bytes_scale_with_nnz(self):
+        meta = MatrixMeta(1000, 1000, density=0.01)
+        assert meta.estimated_bytes == pytest.approx(1000 * 1000 * 0.01 * 12, rel=0.01)
+
+    def test_sparse_cheaper_than_dense(self):
+        sparse = MatrixMeta(1000, 1000, density=0.001)
+        dense = MatrixMeta(1000, 1000, density=1.0)
+        assert sparse.estimated_bytes < dense.estimated_bytes / 50
+
+    def test_estimated_nnz(self):
+        assert MatrixMeta(100, 100, density=0.5).estimated_nnz == 5000
+
+
+class TestDerivedMetas:
+    def test_transposed(self):
+        meta = MatrixMeta(100, 250, block_size=100, density=0.3)
+        t = meta.transposed()
+        assert t.shape == (250, 100)
+        assert t.density == 0.3
+
+    def test_matmul_meta_shape(self):
+        a = MatrixMeta(100, 200, 100)
+        b = MatrixMeta(200, 300, 100)
+        assert a.matmul_meta(b).shape == (100, 300)
+
+    def test_matmul_meta_rejects_mismatch(self):
+        with pytest.raises(MatrixShapeError):
+            MatrixMeta(10, 20).matmul_meta(MatrixMeta(30, 10))
+
+    def test_matmul_meta_rejects_block_size_mismatch(self):
+        with pytest.raises(MatrixShapeError):
+            MatrixMeta(10, 20, 10).matmul_meta(MatrixMeta(20, 10, 5))
+
+    def test_matmul_density_dense_inputs(self):
+        a = MatrixMeta(10, 10, density=1.0)
+        assert a.matmul_meta(a).density == 1.0
+
+    def test_matmul_density_sparse_inputs_grows_with_k(self):
+        thin = MatrixMeta(100, 10, density=0.1).matmul_meta(
+            MatrixMeta(10, 100, density=0.1)
+        )
+        wide = MatrixMeta(100, 1000, density=0.1).matmul_meta(
+            MatrixMeta(1000, 100, density=0.1)
+        )
+        assert wide.density > thin.density
+
+    def test_elementwise_meta_sparse_safe_takes_min(self):
+        a = MatrixMeta(10, 10, density=0.1)
+        b = MatrixMeta(10, 10, density=0.9)
+        assert a.elementwise_meta(b, sparse_safe=True).density == pytest.approx(0.1)
+
+    def test_elementwise_meta_additive_otherwise(self):
+        a = MatrixMeta(10, 10, density=0.4)
+        b = MatrixMeta(10, 10, density=0.4)
+        assert a.elementwise_meta(b, sparse_safe=False).density == pytest.approx(0.8)
+
+    def test_elementwise_meta_shape_mismatch(self):
+        with pytest.raises(MatrixShapeError):
+            MatrixMeta(10, 10).elementwise_meta(MatrixMeta(10, 11), True)

@@ -1,0 +1,60 @@
+"""Unit tests for block partitioners."""
+
+import pytest
+
+from repro.matrix import ColumnPartitioner, GridPartitioner, RowPartitioner
+
+
+class TestRowPartitioner:
+    def test_same_row_same_partition(self):
+        p = RowPartitioner(4)
+        assert p.partition((2, 0)) == p.partition((2, 9))
+
+    def test_wraps_modulo(self):
+        p = RowPartitioner(4)
+        assert p.partition((6, 0)) == p.partition((2, 3))
+
+    def test_range(self):
+        p = RowPartitioner(3)
+        for i in range(10):
+            assert 0 <= p.partition((i, 0)) < 3
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            RowPartitioner(0)
+
+
+class TestColumnPartitioner:
+    def test_same_col_same_partition(self):
+        p = ColumnPartitioner(5)
+        assert p.partition((0, 3)) == p.partition((7, 3))
+
+    def test_differs_from_row(self):
+        rp, cp = RowPartitioner(4), ColumnPartitioner(4)
+        assert rp.partition((1, 2)) != cp.partition((1, 2))
+
+
+class TestGridPartitioner:
+    def test_num_partitions(self):
+        assert GridPartitioner(3, 4).num_partitions == 12
+
+    def test_neighbourhood_spread(self):
+        p = GridPartitioner(2, 2)
+        ids = {p.partition((i, j)) for i in range(2) for j in range(2)}
+        assert ids == {0, 1, 2, 3}
+
+    def test_tiles_repeat(self):
+        p = GridPartitioner(2, 3)
+        assert p.partition((0, 0)) == p.partition((2, 3))
+
+    def test_equality_and_hash(self):
+        assert GridPartitioner(2, 3) == GridPartitioner(2, 3)
+        assert GridPartitioner(2, 3) != GridPartitioner(3, 2)
+        assert hash(GridPartitioner(2, 3)) == hash(GridPartitioner(2, 3))
+
+    def test_row_vs_column_not_equal(self):
+        assert RowPartitioner(4) != ColumnPartitioner(4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GridPartitioner(0, 3)

@@ -1,0 +1,123 @@
+"""Tests for the Cell-fused operator (matmul-free plans, single ops)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.core.plan import PartialFusionPlan
+from repro.errors import PlanError
+from repro.lang import DAG, colsum, evaluate, matrix_input, rowsum, sum_of
+from repro.matrix import rand_dense, rand_sparse
+from repro.operators import FusedCellOperator
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+def run(expr, inputs, config=None):
+    config = config or make_config()
+    dag = DAG(expr.node)
+    plan = PartialFusionPlan(set(dag.operators()), dag)
+    op = FusedCellOperator(plan, config)
+    cluster = SimulatedCluster(config)
+    out = op.execute(cluster, inputs)
+    expected = evaluate(dag.roots[0], {k: m.to_numpy() for k, m in inputs.items()})
+    return out, expected, cluster
+
+
+@pytest.fixture
+def xy():
+    return {
+        "X": rand_sparse(100, 75, 0.1, BS, seed=1),
+        "Y": rand_dense(100, 75, BS, seed=2),
+    }
+
+
+class TestElementwise:
+    def test_chain(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        y = matrix_input("Y", 100, 75, BS)
+        out, expected, _ = run(x * y + 2.0, xy)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+    def test_scalar_only(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        out, expected, _ = run(1.0 / (x + 1.0), xy)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+    def test_single_unary(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        out, expected, _ = run(x ** 2, xy)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+    def test_sparse_result_stays_sparse(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        y = matrix_input("Y", 100, 75, BS)
+        out, expected, _ = run(x * y, xy)
+        assert out.nbytes < 100 * 75 * 8 / 2
+
+    def test_transpose_inside_chain(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        y = matrix_input("Y", 100, 75, BS)
+        out, expected, _ = run((x * y).T, xy)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+    def test_single_transpose(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        out, expected, _ = run(x.T, xy)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+    def test_transpose_of_transpose_combination(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        y = matrix_input("Y", 100, 75, BS)
+        out, expected, _ = run(x.T * y.T, xy)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+    def test_ragged_grid(self):
+        inputs = {"X": rand_dense(90, 65, BS, seed=3)}
+        x = matrix_input("X", 90, 65, BS)
+        out, expected, _ = run(x * 3.0 - 1.0, inputs)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+
+class TestAggregationRoots:
+    def test_sum(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        out, expected, _ = run(sum_of(x * 2.0), xy)
+        assert out.to_numpy()[0, 0] == pytest.approx(expected[0, 0])
+
+    def test_rowsum(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        y = matrix_input("Y", 100, 75, BS)
+        out, expected, _ = run(rowsum(x * y), xy)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+    def test_colsum(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        out, expected, _ = run(colsum(x), xy)
+        np.testing.assert_allclose(out.to_numpy(), expected)
+
+    def test_aggregation_shuffle_accounted(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        _, _, cluster = run(sum_of(x * 2.0), xy)
+        assert cluster.metrics.aggregation_bytes > 0
+
+
+class TestGuards:
+    def test_matmul_plan_rejected(self, xy):
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        w = matrix_input("W", 75, 10, BS)
+        dag = DAG((x @ w).node)
+        plan = PartialFusionPlan(set(dag.operators()), dag)
+        with pytest.raises(PlanError):
+            FusedCellOperator(plan, make_config())
+
+    def test_consolidation_counted_once_per_block(self, xy):
+        """X consumed twice in the same expression is received once."""
+        x = matrix_input("X", 100, 75, BS, density=0.1)
+        _, _, once = run(x * 2.0, xy)
+        _, _, twice = run(x * x, xy)
+        assert twice.metrics.consolidation_bytes == pytest.approx(
+            once.metrics.consolidation_bytes, rel=0.01
+        )

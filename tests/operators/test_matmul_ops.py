@@ -1,0 +1,89 @@
+"""Tests for standalone distributed matrix multiplication strategies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.lang import DAG, matrix_input
+from repro.matrix import rand_dense, rand_sparse
+from repro.operators import BroadcastMatMul, CuboidMatMul, ReplicationMatMul
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+@pytest.fixture
+def setting():
+    a = rand_dense(200, 100, BS, seed=1)
+    b = rand_dense(100, 150, BS, seed=2)
+    ae = matrix_input("A", 200, 100, BS)
+    be = matrix_input("B", 100, 150, BS)
+    dag = DAG((ae @ be).node)
+    node = dag.matmul_nodes()[0]
+    expected = a.to_numpy() @ b.to_numpy()
+    return dag, node, {"A": a, "B": b}, expected
+
+
+class TestStrategies:
+    def test_broadcast(self, setting):
+        dag, node, inputs, expected = setting
+        out = BroadcastMatMul(node, dag, make_config()).execute(
+            SimulatedCluster(make_config()), inputs
+        )
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_replication(self, setting):
+        dag, node, inputs, expected = setting
+        out = ReplicationMatMul(node, dag, make_config()).execute(
+            SimulatedCluster(make_config()), inputs
+        )
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_cuboid(self, setting):
+        dag, node, inputs, expected = setting
+        out = CuboidMatMul(node, dag, make_config()).execute(
+            SimulatedCluster(make_config()), inputs
+        )
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_cuboid_with_fixed_pqr(self, setting):
+        dag, node, inputs, expected = setting
+        op = CuboidMatMul(node, dag, make_config(), pqr=(4, 3, 2))
+        out = op.execute(SimulatedCluster(make_config()), inputs)
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_sparse_operand(self, setting):
+        dag, node, inputs, expected = setting
+        sparse_a = rand_sparse(200, 100, 0.05, BS, seed=3)
+        inputs = {"A": sparse_a, "B": inputs["B"]}
+        expected = sparse_a.to_numpy() @ inputs["B"].to_numpy()
+        out = CuboidMatMul(node, dag, make_config()).execute(
+            SimulatedCluster(make_config()), inputs
+        )
+        np.testing.assert_allclose(out.to_numpy(), expected, atol=1e-8)
+
+    def test_cuboid_cheaper_than_replication_on_common_dim(self):
+        """With a large common dimension, k-partitioning pays off — the
+        DistME argument the CFO inherits."""
+        a = rand_dense(100, 300, BS, seed=1)
+        b = rand_dense(300, 100, BS, seed=2)
+        ae = matrix_input("A", 100, 300, BS)
+        be = matrix_input("B", 300, 100, BS)
+        dag = DAG((ae @ be).node)
+        node = dag.matmul_nodes()[0]
+        config = make_config()
+        inputs = {"A": a, "B": b}
+        cub = SimulatedCluster(config)
+        CuboidMatMul(node, dag, config).execute(cub, inputs)
+        rep = SimulatedCluster(config)
+        ReplicationMatMul(node, dag, config).execute(rep, inputs)
+        assert cub.metrics.comm_bytes < rep.metrics.comm_bytes
+
+    def test_non_matmul_node_rejected(self):
+        from repro.errors import PlanError
+
+        x = matrix_input("X", 100, 100, BS)
+        dag = DAG((x * 2.0).node)
+        with pytest.raises(PlanError):
+            CuboidMatMul(dag.roots[0], dag, make_config())

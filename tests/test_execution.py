@@ -1,0 +1,82 @@
+"""Tests for the shared engine skeleton (repro.execution)."""
+
+import numpy as np
+import pytest
+
+from repro import FuseMEEngine
+from repro.cluster import SimulatedCluster
+from repro.execution import ExecutionResult, as_dag
+from repro.lang import DAG, matrix_input
+from repro.matrix import rand_dense
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+@pytest.fixture
+def simple():
+    x = matrix_input("X", 100, 100, BS)
+    inputs = {"X": rand_dense(100, 100, BS, seed=1)}
+    return x, inputs
+
+
+class TestAsDag:
+    def test_expr(self, simple):
+        x, _ = simple
+        dag = as_dag(x * 2.0)
+        assert len(dag.roots) == 1
+
+    def test_expr_list(self, simple):
+        x, _ = simple
+        dag = as_dag([x * 2.0, x + 1.0])
+        assert len(dag.roots) == 2
+
+    def test_dag_passthrough(self, simple):
+        x, _ = simple
+        dag = DAG((x * 2.0).node)
+        assert as_dag(dag) is dag
+
+
+class TestExecutionResult:
+    def test_output_accessors(self, simple):
+        x, inputs = simple
+        result = FuseMEEngine(make_config()).execute(x * 2.0, inputs)
+        assert result.output() is result.outputs[result.dag.roots[0]]
+        assert result.comm_bytes == result.metrics.comm_bytes
+        assert result.elapsed_seconds == result.metrics.elapsed_seconds
+
+    def test_dag_defaults_from_fusion_plan(self, simple):
+        x, inputs = simple
+        result = FuseMEEngine(make_config()).execute(x * 2.0, inputs)
+        assert result.dag is result.fusion_plan.dag
+
+
+class TestSharedCluster:
+    def test_explicit_cluster_accumulates(self, simple):
+        """Passing one cluster across executions accumulates metrics —
+        how iterative drivers (GNMF) could measure a whole job."""
+        x, inputs = simple
+        config = make_config()
+        cluster = SimulatedCluster(config)
+        engine = FuseMEEngine(config)
+        engine.execute(x * 2.0, inputs, cluster=cluster)
+        first = cluster.metrics.num_stages
+        engine.execute(x * 2.0, inputs, cluster=cluster)
+        assert cluster.metrics.num_stages == 2 * first
+
+    def test_fresh_cluster_by_default(self, simple):
+        x, inputs = simple
+        engine = FuseMEEngine(make_config())
+        a = engine.execute(x * 2.0, inputs)
+        b = engine.execute(x * 2.0, inputs)
+        assert a.metrics is not b.metrics
+
+    def test_values_survive_shared_cluster(self, simple):
+        x, inputs = simple
+        config = make_config()
+        cluster = SimulatedCluster(config)
+        result = FuseMEEngine(config).execute(x * 3.0, inputs, cluster=cluster)
+        np.testing.assert_allclose(
+            result.output().to_numpy(), inputs["X"].to_numpy() * 3.0
+        )

@@ -1,0 +1,101 @@
+"""Tests for the AutoEncoder workload."""
+
+import numpy as np
+import pytest
+
+from repro import FuseMEEngine, LocalXLAEngine, SystemDSLikeEngine
+from repro.errors import DataError
+from repro.matrix import rand_dense
+from repro.workloads import AutoEncoder, AutoEncoderShapes
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+@pytest.fixture
+def ae():
+    shapes = AutoEncoderShapes(features=100, hidden1=50, hidden2=25)
+    return AutoEncoder(shapes, batch_size=50, block_size=BS)
+
+
+@pytest.fixture
+def data():
+    return rand_dense(200, 100, BS, seed=7)
+
+
+class TestConstruction:
+    def test_weight_shapes(self):
+        shapes = AutoEncoderShapes(features=100, hidden1=50, hidden2=25)
+        ws = shapes.weight_shapes()
+        assert ws["W1"] == (50, 100)
+        assert ws["W2"] == (25, 50)
+        assert ws["W3"] == (50, 25)
+        assert ws["W4"] == (100, 50)
+
+    def test_four_update_roots(self, ae):
+        assert len(ae.step_exprs) == 4
+        assert ae.step_exprs[0].shape == (50, 100)
+
+    def test_initial_weights_reproducible(self, ae):
+        a = ae.initial_weights(seed=3)
+        b = ae.initial_weights(seed=3)
+        for name in a:
+            assert a[name].allclose(b[name])
+
+    def test_bad_batch_size(self):
+        shapes = AutoEncoderShapes(features=100)
+        with pytest.raises(DataError):
+            AutoEncoder(shapes, batch_size=0)
+
+
+class TestTraining:
+    def test_epoch_reduces_reconstruction_error(self, ae, data):
+        w0 = ae.initial_weights()
+        before = ae.reconstruction_error(data, w0)
+        run = ae.run_epoch(FuseMEEngine(make_config()), data, weights=w0)
+        after = ae.reconstruction_error(data, run.weights)
+        assert after < before
+        assert len(run.steps) == 4
+
+    def test_engines_produce_identical_weights(self, ae, data):
+        w0 = ae.initial_weights()
+        fuseme = ae.run_epoch(FuseMEEngine(make_config()), data, weights=w0,
+                              max_steps=2)
+        systemds = ae.run_epoch(SystemDSLikeEngine(make_config()), data,
+                                weights=w0, max_steps=2)
+        xla = ae.run_epoch(LocalXLAEngine(make_config()), data, weights=w0,
+                           max_steps=2)
+        for name in fuseme.weights:
+            assert fuseme.weights[name].allclose(systemds.weights[name], atol=1e-7)
+            assert fuseme.weights[name].allclose(xla.weights[name], atol=1e-7)
+
+    def test_metrics_collected_per_step(self, ae, data):
+        run = ae.run_epoch(FuseMEEngine(make_config()), data, max_steps=2)
+        assert all(s.elapsed_seconds > 0 for s in run.steps)
+        assert run.comm_bytes > 0
+
+    def test_xla_has_zero_comm(self, ae, data):
+        run = ae.run_epoch(LocalXLAEngine(make_config()), data, max_steps=2)
+        assert run.comm_bytes == 0
+
+    def test_batch_not_multiple_of_block_rejected(self, data):
+        shapes = AutoEncoderShapes(features=100, hidden1=50, hidden2=25)
+        ae = AutoEncoder(shapes, batch_size=30, block_size=BS)
+        with pytest.raises(DataError):
+            ae.run_epoch(FuseMEEngine(make_config()), data)
+
+    def test_rows_not_multiple_of_batch_rejected(self, ae):
+        data = rand_dense(175, 100, BS, seed=7)
+        with pytest.raises(DataError):
+            ae.run_epoch(FuseMEEngine(make_config()), data)
+
+    def test_smaller_batch_means_more_steps(self, data):
+        """Figure 15(b-c): smaller batches = more update steps per epoch."""
+        shapes = AutoEncoderShapes(features=100, hidden1=50, hidden2=25)
+        small = AutoEncoder(shapes, batch_size=25, block_size=BS)
+        large = AutoEncoder(shapes, batch_size=100, block_size=BS)
+        small_run = small.run_epoch(FuseMEEngine(make_config()), data)
+        large_run = large.run_epoch(FuseMEEngine(make_config()), data)
+        assert len(small_run.steps) == 8
+        assert len(large_run.steps) == 2

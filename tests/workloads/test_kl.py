@@ -1,0 +1,72 @@
+"""Tests for the generalized KL-divergence workload."""
+
+import numpy as np
+import pytest
+
+from repro import DistMELikeEngine, FuseMEEngine, SystemDSLikeEngine
+from repro.matrix import rand_dense, rand_sparse
+from repro.workloads.kl import kl_divergence_query, kl_divergence_value
+
+from tests.conftest import make_config
+
+BS = 25
+ROWS, COLS, K = 200, 150, 50
+DENSITY = 0.05
+
+
+@pytest.fixture
+def data():
+    return {
+        "X": rand_sparse(ROWS, COLS, DENSITY, BS, seed=1, low=0.5, high=2.0),
+        "W": rand_dense(ROWS, K, BS, seed=2, low=0.1, high=1.0),
+        "H": rand_dense(K, COLS, BS, seed=3, low=0.1, high=1.0),
+    }
+
+
+def reference_loss(data, eps=1e-12):
+    x = data["X"].to_numpy()
+    wh = data["W"].to_numpy() @ data["H"].to_numpy()
+    masked = np.sum(x * np.log((x + eps) / (wh + eps)))
+    return masked - x.sum() + wh.sum()
+
+
+def run_loss(engine, data):
+    q = kl_divergence_query(ROWS, COLS, K, DENSITY, BS)
+    result = engine.execute([q.masked_term, q.x_mass, q.wh_mass], data)
+    roots = list(result.dag.roots)
+    return kl_divergence_value(
+        result.outputs[roots[0]],
+        result.outputs[roots[1]],
+        result.outputs[roots[2]],
+    ), result
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "engine_cls", [FuseMEEngine, SystemDSLikeEngine, DistMELikeEngine]
+    )
+    def test_matches_reference(self, data, engine_cls):
+        got, _ = run_loss(engine_cls(make_config()), data)
+        assert got == pytest.approx(reference_loss(data), rel=1e-9)
+
+    def test_masked_term_uses_sparsity(self, data):
+        """The masked term alone must exploit X's sparsity: far fewer flops
+        than the dense product it notionally contains."""
+        q = kl_divergence_query(ROWS, COLS, K, DENSITY, BS)
+        result = FuseMEEngine(make_config()).execute(q.masked_term, data)
+        dense_product_flops = 2 * ROWS * K * COLS
+        assert result.metrics.flops < dense_product_flops / 5
+
+    def test_loss_decreases_when_wh_approaches_x(self, data):
+        """Replacing random factors with a closer approximation lowers D."""
+        far, _ = run_loss(FuseMEEngine(make_config()), data)
+        # scale H so that W x H has roughly X's mean mass on the support
+        x = data["X"].to_numpy()
+        wh = data["W"].to_numpy() @ data["H"].to_numpy()
+        scale = x.sum() / wh.sum()
+        from repro.matrix import from_numpy
+
+        closer = dict(data)
+        closer["H"] = from_numpy(data["H"].to_numpy() * scale, BS)
+        near, _ = run_loss(FuseMEEngine(make_config()), closer)
+        assert near < far

@@ -1,0 +1,159 @@
+"""Tests for the workload builders: NMF, GNMF, ALS, PCA, recommender."""
+
+import numpy as np
+import pytest
+
+from repro import DistMELikeEngine, FuseMEEngine, SystemDSLikeEngine
+from repro.lang import DAG, evaluate
+from repro.matrix import rand_dense, rand_sparse
+from repro.workloads import (
+    GNMF,
+    als_loss_query,
+    gnmf_updates,
+    nmf_query,
+    pca_covariance_query,
+    top_k_items,
+)
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+class TestNMFQuery:
+    def test_shapes_declared(self):
+        q = nmf_query(200, 150, 50, 0.05, BS)
+        assert q.x.shape == (200, 150)
+        assert q.u.shape == (200, 50)
+        assert q.v.shape == (150, 50)
+        assert q.expr.shape == (200, 150)
+
+    def test_executes_correctly(self):
+        q = nmf_query(200, 150, 50, 0.05, BS)
+        inputs = {
+            "X": rand_sparse(200, 150, 0.05, BS, seed=1),
+            "U": rand_dense(200, 50, BS, seed=2),
+            "V": rand_dense(150, 50, BS, seed=3),
+        }
+        result = FuseMEEngine(make_config()).execute(q.expr, inputs)
+        expected = evaluate(
+            DAG(q.expr.node).roots[0],
+            {k: m.to_numpy() for k, m in inputs.items()},
+        )
+        np.testing.assert_allclose(result.output().to_numpy(), expected, atol=1e-8)
+
+
+class TestALS:
+    def test_loss_positive_and_consistent(self):
+        q = als_loss_query(200, 150, 50, 0.05, BS)
+        inputs = {
+            "X": rand_sparse(200, 150, 0.05, BS, seed=1),
+            "U": rand_dense(200, 50, BS, seed=2),
+            "V": rand_dense(50, 150, BS, seed=3),
+        }
+        results = [
+            Eng(make_config()).execute(q.expr, inputs).output().to_numpy()[0, 0]
+            for Eng in (FuseMEEngine, SystemDSLikeEngine, DistMELikeEngine)
+        ]
+        assert results[0] > 0
+        np.testing.assert_allclose(results, results[0], rtol=1e-9)
+
+
+class TestPCA:
+    def test_covariance_pattern(self):
+        q = pca_covariance_query(200, 150, 25, BS)
+        inputs = {
+            "X": rand_dense(200, 150, BS, seed=1),
+            "S": rand_dense(150, 25, BS, seed=2),
+        }
+        result = FuseMEEngine(make_config()).execute(q.expr, inputs)
+        x, s = inputs["X"].to_numpy(), inputs["S"].to_numpy()
+        np.testing.assert_allclose(
+            result.output().to_numpy(), (x @ s).T @ x, atol=1e-7
+        )
+
+
+class TestGNMF:
+    def test_updates_well_formed(self):
+        q = gnmf_updates(200, 150, 50, 0.05, BS)
+        assert q.u_update.shape == (50, 150)
+        assert q.v_update.shape == (200, 50)
+
+    def test_run_keeps_factor_shapes(self):
+        gn = GNMF(200, 150, 50, 0.05, BS)
+        x = rand_sparse(200, 150, 0.05, BS, seed=1)
+        run = gn.run(FuseMEEngine(make_config()), x, iterations=2)
+        assert run.u.shape == (50, 150)
+        assert run.v.shape == (200, 50)
+        assert len(run.iterations) == 2
+
+    def test_factors_stay_nonnegative(self):
+        gn = GNMF(200, 150, 50, 0.05, BS)
+        x = rand_sparse(200, 150, 0.05, BS, seed=1)
+        run = gn.run(FuseMEEngine(make_config()), x, iterations=3)
+        assert run.u.to_numpy().min() >= 0
+        assert run.v.to_numpy().min() >= 0
+
+    def test_accumulated_seconds_monotone(self):
+        gn = GNMF(200, 150, 50, 0.05, BS)
+        x = rand_sparse(200, 150, 0.05, BS, seed=1)
+        run = gn.run(FuseMEEngine(make_config()), x, iterations=3)
+        acc = run.accumulated_seconds
+        assert acc == sorted(acc)
+        assert run.total_comm_bytes > 0
+
+    def test_engines_agree_on_one_iteration(self):
+        gn = GNMF(200, 150, 50, 0.05, BS)
+        x = rand_sparse(200, 150, 0.05, BS, seed=1)
+        runs = {}
+        for Eng in (FuseMEEngine, SystemDSLikeEngine, DistMELikeEngine):
+            runs[Eng.__name__] = gn.run(Eng(make_config()), x, iterations=1)
+        base = runs["FuseMEEngine"]
+        for name, other in runs.items():
+            assert base.u.allclose(other.u, atol=1e-6), name
+            assert base.v.allclose(other.v, atol=1e-6), name
+
+    def test_loss_tracking(self):
+        gn = GNMF(100, 75, 25, 0.1, BS)
+        x = rand_sparse(100, 75, 0.1, BS, seed=1)
+        run = gn.run(FuseMEEngine(make_config()), x, iterations=2, track_loss=True)
+        assert all(it.loss is not None for it in run.iterations)
+
+    def test_sequential_updates_decrease_loss(self):
+        """The Lee-Seung schedule is monotone non-increasing in loss."""
+        gn = GNMF(100, 75, 25, 0.1, BS)
+        x = rand_sparse(100, 75, 0.1, BS, seed=1)
+        run = gn.run(
+            FuseMEEngine(make_config()), x, iterations=4,
+            track_loss=True, sequential=True,
+        )
+        losses = [it.loss for it in run.iterations]
+        assert all(b <= a * (1 + 1e-9) for a, b in zip(losses, losses[1:]))
+
+
+class TestRecommender:
+    def test_topk_excludes_seen_items(self):
+        gn = GNMF(100, 75, 25, 0.1, BS)
+        x = rand_sparse(100, 75, 0.1, BS, seed=1)
+        run = gn.run(FuseMEEngine(make_config()), x, iterations=2)
+        recs = top_k_items(FuseMEEngine(make_config()), x, run.u, run.v, user=5, k=10)
+        assert len(recs) <= 10
+        seen = set(np.flatnonzero(x.to_numpy()[5]))
+        assert not seen & {item for item, _ in recs}
+
+    def test_scores_sorted_descending(self):
+        gn = GNMF(100, 75, 25, 0.1, BS)
+        x = rand_sparse(100, 75, 0.1, BS, seed=1)
+        run = gn.run(FuseMEEngine(make_config()), x, iterations=1)
+        recs = top_k_items(FuseMEEngine(make_config()), x, run.u, run.v, user=0, k=5)
+        scores = [s for _, s in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_bad_user_rejected(self):
+        gn = GNMF(100, 75, 25, 0.1, BS)
+        x = rand_sparse(100, 75, 0.1, BS, seed=1)
+        u, v = gn.initial_factors()
+        with pytest.raises(IndexError):
+            top_k_items(FuseMEEngine(make_config()), x, u, v, user=1000)
+        with pytest.raises(ValueError):
+            top_k_items(FuseMEEngine(make_config()), x, u, v, user=0, k=0)
