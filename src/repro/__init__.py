@@ -20,6 +20,7 @@ Quickstart::
     print(result.metrics.summary())
 """
 
+from repro.cluster.runtime import FaultPlan, TraceRecorder
 from repro.config import ClusterConfig, EngineConfig, paper_cluster
 from repro.core import FuseMEEngine
 from repro.baselines import (
@@ -64,6 +65,8 @@ __all__ = [
     "__version__",
     "ClusterConfig",
     "EngineConfig",
+    "FaultPlan",
+    "TraceRecorder",
     "paper_cluster",
     "FuseMEEngine",
     "SystemDSLikeEngine",

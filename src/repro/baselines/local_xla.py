@@ -18,7 +18,7 @@ from repro.cluster.metrics import MetricsCollector, StageRecord
 from repro.config import EngineConfig
 from repro.errors import TaskOutOfMemoryError
 from repro.execution import ExecutionResult, Query, as_dag
-from repro.lang.dag import DAG, Node
+from repro.lang.dag import Node
 from repro.lang.interpreter import evaluate_many
 from repro.matrix.distributed import BlockedMatrix
 from repro.matrix.generators import from_numpy

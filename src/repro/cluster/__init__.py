@@ -15,7 +15,14 @@ for partial cluster utilization when a stage has fewer tasks than slots.
 from repro.cluster.metrics import MetricsCollector, StageRecord
 from repro.cluster.task import TaskContext, TransferKind
 from repro.cluster.executor import SimulatedCluster, Stage
-from repro.cluster.simulation import stage_seconds
+from repro.cluster.simulation import stage_seconds, task_seconds
+from repro.cluster.runtime import (
+    ClusterRuntime,
+    FaultPlan,
+    ScheduledStage,
+    TaskAttempt,
+    TraceRecorder,
+)
 
 __all__ = [
     "MetricsCollector",
@@ -25,4 +32,10 @@ __all__ = [
     "SimulatedCluster",
     "Stage",
     "stage_seconds",
+    "task_seconds",
+    "ClusterRuntime",
+    "FaultPlan",
+    "ScheduledStage",
+    "TaskAttempt",
+    "TraceRecorder",
 ]

@@ -10,10 +10,22 @@ Operators interact with the cluster through :class:`Stage`::
             task.add_flops(...)
             task.hold_output(out_block)
 
-Closing the stage computes its modeled elapsed time from the paper's Eq. 2
-(see :mod:`repro.cluster.simulation`), records a
+Closing the stage computes its modeled elapsed time, records a
 :class:`~repro.cluster.metrics.StageRecord`, and enforces the simulated-time
-timeout (the paper's 12-hour ``T.O.``).
+timeout (the paper's 12-hour ``T.O.``).  Two time models exist
+(``EngineConfig.time_model``):
+
+* ``"aggregate"`` (default, the seed behaviour) — the paper's Eq. 2 applied
+  to the stage's *total* traffic and flops
+  (:func:`repro.cluster.simulation.stage_seconds`), perfect load balance;
+* ``"scheduled"`` — the event-driven per-slot runtime
+  (:mod:`repro.cluster.runtime`): tasks are placed on ``N x Tc`` slot
+  timelines, faults from the config's :class:`FaultPlan` are injected and
+  retried, and the stage pays for its longest slot.
+
+A stage whose body raises (O.O.M., timeout, operator bug) is still recorded
+— as an *aborted* :class:`StageRecord` with zero modeled seconds — so a
+failed run's partial traffic remains visible in its metrics.
 """
 
 from __future__ import annotations
@@ -22,7 +34,8 @@ from typing import Optional
 
 from repro.config import EngineConfig
 from repro.cluster.metrics import MetricsCollector, StageRecord
-from repro.cluster.simulation import stage_seconds
+from repro.cluster.runtime import ClusterRuntime, TraceRecorder
+from repro.cluster.simulation import stage_seconds, task_seconds
 from repro.cluster.task import TaskContext
 from repro.errors import SimulatedTimeoutError
 
@@ -53,25 +66,92 @@ class Stage:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.close()
-        else:
-            self._closed = True  # abandon accounting on error
+        elif not self._closed:
+            self.abort()
+
+    # -- accounting ----------------------------------------------------------
+
+    def _totals(self) -> tuple[int, int, int, int]:
+        consolidation = sum(t.consolidation_bytes for t in self.tasks)
+        aggregation = sum(t.aggregation_bytes for t in self.tasks)
+        flops = sum(t.flops for t in self.tasks)
+        peak = max((t.peak_memory for t in self.tasks), default=0)
+        return consolidation, aggregation, flops, peak
+
+    def _skew_ratio(self) -> float:
+        """Max-over-mean per-task busy time (1.0 when empty or balanced)."""
+        if not self.tasks:
+            return 1.0
+        config = self._cluster.config
+        busy = [
+            task_seconds(
+                config.cluster,
+                t.consolidation_bytes + t.aggregation_bytes,
+                t.flops,
+                overlap=config.overlap_comm_compute,
+            )
+            for t in self.tasks
+        ]
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0 else 1.0
+
+    def abort(self) -> StageRecord:
+        """Record the stage as aborted: partial traffic kept, zero seconds.
+
+        Called by ``__exit__`` when the stage body raises (the O.O.M. and
+        timeout paths), so failed runs still report what they moved.
+        """
+        if self._closed:
+            raise RuntimeError(f"stage {self.name!r} is already closed")
+        self._closed = True
+        consolidation, aggregation, flops, peak = self._totals()
+        record = StageRecord(
+            name=self.name,
+            num_tasks=len(self.tasks),
+            consolidation_bytes=consolidation,
+            aggregation_bytes=aggregation,
+            flops=flops,
+            seconds=0.0,
+            peak_task_memory=peak,
+            skew_ratio=self._skew_ratio(),
+            aborted=True,
+        )
+        self._cluster.metrics.record(record)
+        return record
 
     def close(self) -> StageRecord:
         """Finalize: compute modeled time, record metrics, check timeout."""
         if self._closed:
             raise RuntimeError(f"stage {self.name!r} is already closed")
         self._closed = True
-        consolidation = sum(t.consolidation_bytes for t in self.tasks)
-        aggregation = sum(t.aggregation_bytes for t in self.tasks)
-        flops = sum(t.flops for t in self.tasks)
-        peak = max((t.peak_memory for t in self.tasks), default=0)
-        seconds = stage_seconds(
-            self._cluster.config.cluster,
-            num_tasks=len(self.tasks),
-            net_bytes=consolidation + aggregation,
-            flops=flops,
-            overlap=self._cluster.config.overlap_comm_compute,
-        )
+        config = self._cluster.config
+        consolidation, aggregation, flops, peak = self._totals()
+        start = self._cluster.metrics.elapsed_seconds
+
+        if config.time_model == "scheduled":
+            try:
+                scheduled = self._cluster.runtime.run_stage(
+                    self.name, self.tasks, start=start
+                )
+            except Exception:
+                # retries exhausted / cluster lost: keep the traffic visible
+                self._closed = False
+                self.abort()
+                raise
+            seconds = scheduled.seconds
+            attempts = scheduled.num_attempts
+            skew = scheduled.skew_ratio
+        else:
+            seconds = stage_seconds(
+                config.cluster,
+                num_tasks=len(self.tasks),
+                net_bytes=consolidation + aggregation,
+                flops=flops,
+                overlap=config.overlap_comm_compute,
+            )
+            attempts = len(self.tasks)
+            skew = self._skew_ratio()
+
         record = StageRecord(
             name=self.name,
             num_tasks=len(self.tasks),
@@ -80,18 +160,52 @@ class Stage:
             flops=flops,
             seconds=seconds,
             peak_task_memory=peak,
+            attempts=attempts,
+            skew_ratio=skew,
         )
         self._cluster.metrics.record(record)
+        if self._cluster.trace is not None:
+            self._cluster.trace.stage(
+                self.name,
+                start,
+                start + seconds,
+                num_tasks=len(self.tasks),
+                attempts=attempts,
+                skew_ratio=skew,
+            )
+            self._cluster.trace.transfer(
+                self.name, start + seconds, consolidation, aggregation
+            )
         self._cluster._check_timeout()
         return record
 
 
 class SimulatedCluster:
-    """The distributed substrate shared by FuseME and every baseline engine."""
+    """The distributed substrate shared by FuseME and every baseline engine.
 
-    def __init__(self, config: Optional[EngineConfig] = None):
+    With ``time_model="scheduled"`` the cluster owns a
+    :class:`~repro.cluster.runtime.ClusterRuntime` (per-slot scheduling plus
+    the config's fault plan) and auto-attaches a
+    :class:`~repro.cluster.runtime.TraceRecorder`; pass ``trace=`` to attach
+    one explicitly (stage-level events are recorded in aggregate mode too).
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
         self.config = config or EngineConfig()
         self.metrics = MetricsCollector()
+        if trace is None and self.config.time_model == "scheduled":
+            trace = TraceRecorder()
+        self.trace = trace
+        self.runtime = ClusterRuntime(
+            self.config.cluster,
+            fault_plan=self.config.fault_plan,
+            trace=self.trace,
+            overlap=self.config.overlap_comm_compute,
+        )
 
     @property
     def total_tasks(self) -> int:
@@ -108,6 +222,8 @@ class SimulatedCluster:
 
     def reset_metrics(self) -> None:
         self.metrics.reset()
+        if self.trace is not None:
+            self.trace.clear()
 
     def _check_timeout(self) -> None:
         elapsed = self.metrics.elapsed_seconds
@@ -118,5 +234,6 @@ class SimulatedCluster:
         c = self.config.cluster
         return (
             f"SimulatedCluster(nodes={c.num_nodes}, tasks_per_node="
-            f"{c.tasks_per_node}, theta_t={c.task_memory_budget})"
+            f"{c.tasks_per_node}, theta_t={c.task_memory_budget}, "
+            f"time_model={self.config.time_model!r})"
         )

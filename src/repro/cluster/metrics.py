@@ -14,7 +14,14 @@ from typing import Iterator
 
 @dataclass(frozen=True)
 class StageRecord:
-    """Totals for one executed stage (one wave-set of parallel tasks)."""
+    """Totals for one executed stage (one wave-set of parallel tasks).
+
+    ``attempts`` counts task attempts including retries (equal to
+    ``num_tasks`` under the aggregate time model, which never retries);
+    ``skew_ratio`` is max-over-mean per-task busy time (1.0 = perfectly
+    balanced); ``aborted`` marks a stage whose body raised — its partial
+    traffic still counts, its modeled time is zero.
+    """
 
     name: str
     num_tasks: int
@@ -23,10 +30,21 @@ class StageRecord:
     flops: int
     seconds: float
     peak_task_memory: int
+    attempts: int = -1
+    skew_ratio: float = 1.0
+    aborted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.attempts < 0:
+            object.__setattr__(self, "attempts", self.num_tasks)
 
     @property
     def comm_bytes(self) -> int:
         return self.consolidation_bytes + self.aggregation_bytes
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - self.num_tasks
 
 
 @dataclass
@@ -74,6 +92,25 @@ class MetricsCollector:
     def num_tasks(self) -> int:
         return sum(s.num_tasks for s in self.stages)
 
+    @property
+    def num_attempts(self) -> int:
+        """Task attempts including retries (== num_tasks without faults)."""
+        return sum(s.attempts for s in self.stages)
+
+    @property
+    def num_retries(self) -> int:
+        return sum(s.retries for s in self.stages)
+
+    @property
+    def num_aborted_stages(self) -> int:
+        """Stages whose body raised (O.O.M. / timeout) before closing."""
+        return sum(1 for s in self.stages if s.aborted)
+
+    @property
+    def max_skew_ratio(self) -> float:
+        """Worst per-stage load imbalance seen during the run."""
+        return max((s.skew_ratio for s in self.stages), default=1.0)
+
     # -- bookkeeping -------------------------------------------------------
 
     def reset(self) -> None:
@@ -93,7 +130,7 @@ class MetricsCollector:
     def summary(self) -> str:
         from repro.utils.formatting import format_bytes, format_seconds
 
-        return (
+        text = (
             f"{self.num_stages} stages, {self.num_tasks} tasks, "
             f"comm={format_bytes(self.comm_bytes)} "
             f"(consolidation={format_bytes(self.consolidation_bytes)}, "
@@ -101,3 +138,8 @@ class MetricsCollector:
             f"flops={self.flops:,}, "
             f"elapsed={format_seconds(self.elapsed_seconds)}"
         )
+        if self.num_retries:
+            text += f", retries={self.num_retries}"
+        if self.num_aborted_stages:
+            text += f", aborted_stages={self.num_aborted_stages}"
+        return text

@@ -1,0 +1,38 @@
+"""Event-driven cluster runtime: per-slot scheduling, faults and traces.
+
+This package replaces the aggregate stage-timing model with a deterministic
+event-driven simulation of the cluster's ``N x Tc`` task slots:
+
+* :class:`ClusterRuntime` — greedy earliest-slot list scheduler; stage time
+  is the max over slot timelines, so skew and stragglers cost real seconds;
+* :class:`FaultPlan` — seeded, replayable crash / straggler / node-loss
+  injection with bounded retries and exponential backoff;
+* :class:`TraceRecorder` — structured events (task attempts, retries, stage
+  spans, transfers) exportable as Chrome-trace JSON and text summaries.
+
+Select it per run with ``EngineConfig(time_model="scheduled")``; the default
+``"aggregate"`` keeps the seed behaviour (and numbers) unchanged.
+"""
+
+from repro.cluster.runtime.faults import NO_FAULTS, FaultPlan
+from repro.cluster.runtime.scheduler import (
+    ClusterRuntime,
+    ScheduledStage,
+    TaskAttempt,
+)
+from repro.cluster.runtime.trace import (
+    TraceEvent,
+    TraceRecorder,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "ClusterRuntime",
+    "FaultPlan",
+    "NO_FAULTS",
+    "ScheduledStage",
+    "TaskAttempt",
+    "TraceEvent",
+    "TraceRecorder",
+    "validate_chrome_trace",
+]

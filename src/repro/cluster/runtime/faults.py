@@ -1,0 +1,112 @@
+"""Deterministic fault injection for the event-driven cluster runtime.
+
+A :class:`FaultPlan` is a *frozen, seeded* description of the failures a run
+should experience: task crashes, straggling tasks (a slowdown multiplier),
+and whole-node loss.  Every draw is a pure function of the plan's seed and
+the identity of the thing being drawn for (stage name, task id, attempt
+number), so the same plan always injects the same faults regardless of
+scheduling order — re-running a workload replays its failures exactly.
+
+Retries follow the bounded-attempts + exponential-backoff discipline of
+real cluster schedulers (Spark's ``spark.task.maxFailures``): an attempt
+that crashes is re-queued no earlier than ``crash_end + backoff`` where the
+backoff doubles with each failed attempt, and a task that exhausts
+``max_attempts`` raises :class:`~repro.errors.TaskRetriesExceededError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+
+def _uniform(seed: int, *parts: object) -> float:
+    """A deterministic draw in [0, 1) keyed by *seed* and *parts*.
+
+    Uses blake2b rather than ``hash()`` because Python randomizes string
+    hashes per process; fault plans must replay across runs.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(seed).encode())
+    for part in parts:
+        h.update(b"\x1f")
+        h.update(str(part).encode())
+    return int.from_bytes(h.digest(), "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded fault-injection schedule for one simulated run.
+
+    Parameters
+    ----------
+    crash_prob:
+        Probability that any given task *attempt* crashes after running to
+        completion (the work is wasted and the task is retried).
+    straggler_factor:
+        Slowdown multiplier applied to attempts drawn as stragglers
+        (paper Section 6.2: skewed partitions straggle whole stages).
+    straggler_prob:
+        Probability that an attempt straggles by ``straggler_factor``.
+    node_loss_prob:
+        Per-stage probability that one node is lost: attempts already
+        placed on its slots fail, the node is blacklisted for the rest of
+        the stage, and the lost work is retried on surviving nodes.
+    max_attempts:
+        Bound on attempts per task (first run + retries).
+    retry_backoff_seconds:
+        Base of the exponential backoff: attempt ``k``'s retry may not
+        start earlier than ``backoff * 2**(k-1)`` after the crash.
+    seed:
+        Root of every deterministic draw.
+    """
+
+    crash_prob: float = 0.0
+    straggler_factor: float = 1.0
+    straggler_prob: float = 0.1
+    node_loss_prob: float = 0.0
+    max_attempts: int = 4
+    retry_backoff_seconds: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_prob", "straggler_prob", "node_loss_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.retry_backoff_seconds < 0.0:
+            raise ValueError("retry_backoff_seconds cannot be negative")
+
+    # -- draws (all pure functions of seed + identity) ---------------------
+
+    def crashes(self, task_id: str, attempt: int) -> bool:
+        """Does this attempt crash? (Deterministic per task/attempt.)"""
+        return _uniform(self.seed, "crash", task_id, attempt) < self.crash_prob
+
+    def slowdown(self, task_id: str, attempt: int) -> float:
+        """The attempt's straggler multiplier (1.0 for healthy attempts)."""
+        if self.straggler_factor == 1.0:
+            return 1.0
+        draw = _uniform(self.seed, "straggle", task_id, attempt)
+        return self.straggler_factor if draw < self.straggler_prob else 1.0
+
+    def lost_node(self, stage_name: str, num_nodes: int) -> Optional[int]:
+        """The node lost during this stage, or None."""
+        if num_nodes <= 0:
+            return None
+        if _uniform(self.seed, "node-loss", stage_name) >= self.node_loss_prob:
+            return None
+        return int(_uniform(self.seed, "node-pick", stage_name) * num_nodes)
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Delay before re-queueing after failed attempt number *attempt*."""
+        return self.retry_backoff_seconds * 2.0 ** (attempt - 1)
+
+
+#: A plan that injects nothing — scheduling without faults.
+NO_FAULTS = FaultPlan()

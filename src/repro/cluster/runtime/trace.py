@@ -1,0 +1,209 @@
+"""Structured execution traces with Chrome-trace export.
+
+A :class:`TraceRecorder` accumulates :class:`TraceEvent` records emitted by
+the cluster — stage open/close, task attempt start/end, retries, transfer
+totals — with *modeled* timestamps (simulated seconds since run start).
+The recorder exports two formats:
+
+* ``to_chrome_trace()`` / ``write_chrome_trace(path)`` — the Trace Event
+  JSON format consumed by ``chrome://tracing`` and https://ui.perfetto.dev,
+  with one process row per node and one thread row per slot, so wave
+  structure, stragglers and retries are visible on a real timeline;
+* ``summary()`` — a plain-text digest for logs and benchmark output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Synthetic "process" row hosting stage-level (driver) events.
+DRIVER_PID = 0
+
+#: Chrome traces use microseconds; the simulator models seconds.
+_US = 1e6
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured runtime event with modeled timestamps (seconds)."""
+
+    name: str
+    category: str  # "stage" | "task" | "retry" | "transfer"
+    phase: str  # Chrome phases: "X" complete, "i" instant
+    ts: float
+    duration: float = 0.0
+    pid: int = DRIVER_PID
+    tid: int = 0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_chrome(self) -> Dict[str, Any]:
+        event: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": self.phase,
+            "ts": self.ts * _US,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": dict(self.args),
+        }
+        if self.phase == "X":
+            event["dur"] = self.duration * _US
+        if self.phase == "i":
+            event["s"] = "t"  # instant event scoped to its thread
+        return event
+
+
+class TraceRecorder:
+    """Collects runtime events and renders them as Chrome trace / text."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    # -- recording hooks ---------------------------------------------------
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def stage(self, name: str, start: float, end: float, **args: Any) -> None:
+        """A stage's full [open, close] span on the driver row."""
+        self.record(
+            TraceEvent(
+                name=name,
+                category="stage",
+                phase="X",
+                ts=start,
+                duration=max(0.0, end - start),
+                pid=DRIVER_PID,
+                tid=0,
+                args=args,
+            )
+        )
+
+    def task_attempt(
+        self,
+        task_id: str,
+        attempt: int,
+        node: int,
+        slot: int,
+        start: float,
+        end: float,
+        outcome: str,
+        **args: Any,
+    ) -> None:
+        """One task attempt's span on its slot's thread row."""
+        self.record(
+            TraceEvent(
+                name=f"{task_id}@{attempt}",
+                category="task",
+                phase="X",
+                ts=start,
+                duration=max(0.0, end - start),
+                pid=node + 1,  # pid 0 is the driver row
+                tid=slot,
+                args={"attempt": attempt, "outcome": outcome, **args},
+            )
+        )
+        if outcome != "ok":
+            self.record(
+                TraceEvent(
+                    name=f"retry:{task_id}",
+                    category="retry",
+                    phase="i",
+                    ts=end,
+                    pid=node + 1,
+                    tid=slot,
+                    args={"failed_attempt": attempt, "outcome": outcome},
+                )
+            )
+
+    def transfer(
+        self, stage_name: str, ts: float, consolidation: int, aggregation: int
+    ) -> None:
+        """Stage-level transfer totals as an instant event on the driver."""
+        self.record(
+            TraceEvent(
+                name=f"transfer:{stage_name}",
+                category="transfer",
+                phase="i",
+                ts=ts,
+                pid=DRIVER_PID,
+                tid=0,
+                args={
+                    "consolidation_bytes": consolidation,
+                    "aggregation_bytes": aggregation,
+                },
+            )
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Trace Event Format document (load in chrome://tracing)."""
+        events = [e.to_chrome() for e in self.events]
+        pids = sorted({e.pid for e in self.events})
+        for pid in pids:
+            name = "driver" if pid == DRIVER_PID else f"node-{pid - 1}"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
+    def summary(self) -> str:
+        """Plain-text digest: per-category counts plus retry detail lines."""
+        by_category: Dict[str, int] = {}
+        for event in self.events:
+            by_category[event.category] = by_category.get(event.category, 0) + 1
+        lines = [
+            "trace: "
+            + ", ".join(
+                f"{count} {category} events"
+                for category, count in sorted(by_category.items())
+            )
+        ]
+        for event in self.events:
+            if event.category == "retry":
+                lines.append(
+                    f"  retry {event.name.removeprefix('retry:')} at "
+                    f"t={event.ts:.3f}s ({event.args.get('outcome')})"
+                )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder({len(self.events)} events)"
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> None:
+    """Raise ValueError if *document* is not a loadable Chrome trace.
+
+    Used by tests and by callers that archive traces: checks the envelope,
+    required per-event keys, and that complete events carry durations.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("chrome trace must be an object with 'traceEvents'")
+    for event in document["traceEvents"]:
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"trace event missing {key!r}: {event}")
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError(f"complete event missing 'dur': {event}")
+        if event["ph"] != "M" and "ts" not in event:
+            raise ValueError(f"trace event missing 'ts': {event}")
+    json.dumps(document)  # must round-trip

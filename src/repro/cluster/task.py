@@ -76,8 +76,19 @@ class TaskContext:
         self._charge(_size_of(item))
 
     def release(self, item: Sized) -> None:
-        """Return memory to the ledger (streamed/discarded intermediates)."""
-        self._memory_used = max(0, self._memory_used - _size_of(item))
+        """Return memory to the ledger (streamed/discarded intermediates).
+
+        Releasing more than the ledger holds is a double-release accounting
+        bug in the calling operator; clamping to zero would silently mask
+        it, so it raises instead.
+        """
+        size = _size_of(item)
+        if size > self._memory_used:
+            raise ValueError(
+                f"task {self.task_id} released {size} bytes but holds only "
+                f"{self._memory_used}; double release?"
+            )
+        self._memory_used -= size
 
     # -- compute -----------------------------------------------------------------
 

@@ -11,6 +11,13 @@ layout.  Benchmarks construct configs that mirror the paper's cluster (8 nodes,
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # avoid a config <-> cluster import cycle at runtime
+    from repro.cluster.runtime.faults import FaultPlan
+
+#: Valid values for :attr:`EngineConfig.time_model`.
+TIME_MODELS = ("aggregate", "scheduled")
 
 GBPS = 1e9 / 8  # bytes per second in one gigabit per second
 GFLOPS = 1e9
@@ -94,6 +101,15 @@ class EngineConfig:
     refine_input_metas: bool = False
     #: RNG seed used by dataset generators unless overridden.
     seed: int = 0
+    #: How stage elapsed time is modeled: ``"aggregate"`` applies Eq. 2 to
+    #: the stage's totals (the seed behaviour, perfectly load-balanced);
+    #: ``"scheduled"`` runs the event-driven per-slot runtime
+    #: (:mod:`repro.cluster.runtime`), so skew, stragglers and retries cost
+    #: real modeled seconds.
+    time_model: str = "aggregate"
+    #: Seeded fault injection (crashes / stragglers / node loss), only
+    #: honoured by the ``"scheduled"`` time model.
+    fault_plan: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -102,6 +118,11 @@ class EngineConfig:
             raise ValueError("timeout_seconds must be positive")
         if not 0.0 <= self.sparse_threshold <= 1.0:
             raise ValueError("sparse_threshold must be within [0, 1]")
+        if self.time_model not in TIME_MODELS:
+            raise ValueError(
+                f"time_model must be one of {TIME_MODELS}, "
+                f"got {self.time_model!r}"
+            )
 
     def with_cluster(self, **kwargs) -> "EngineConfig":
         """Return a copy with cluster fields replaced (e.g. ``num_nodes=2``)."""

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
-import numpy as np
 
 from repro.blocks import Block
 from repro.blocks.kernels import AGGREGATION_KERNELS, aggregate_combine

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Sequence
 
 from repro.errors import PlanError
-from repro.lang.dag import DAG, AggNode, InputNode, MatMulNode, Node
+from repro.lang.dag import DAG, AggNode, MatMulNode, Node
 
 
 class PartialFusionPlan:

@@ -15,6 +15,7 @@ from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.cluster.executor import SimulatedCluster
 from repro.cluster.metrics import MetricsCollector
+from repro.cluster.runtime import TraceRecorder
 from repro.config import EngineConfig
 from repro.core.plan import FusionPlan, PlanUnit
 from repro.errors import PlanError
@@ -42,6 +43,9 @@ class ExecutionResult:
     metrics: MetricsCollector
     fusion_plan: Optional[FusionPlan]
     dag: Optional[DAG] = None
+    #: Structured runtime trace (auto-attached when time_model="scheduled");
+    #: export with ``result.trace.write_chrome_trace("run.json")``.
+    trace: Optional[TraceRecorder] = None
 
     def __post_init__(self) -> None:
         if self.dag is None and self.fusion_plan is not None:
@@ -119,6 +123,7 @@ class Engine(ABC):
             outputs=outputs,
             metrics=cluster.metrics,
             fusion_plan=fusion_plan,
+            trace=cluster.trace,
         )
 
     @staticmethod

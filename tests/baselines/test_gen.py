@@ -1,6 +1,5 @@
 """Tests for the GEN planner: template behaviour the paper describes."""
 
-import pytest
 
 from repro.baselines.gen import GenPlanner
 from repro.lang import DAG, log, matrix_input, nnz_mask, sq, sum_of

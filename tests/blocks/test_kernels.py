@@ -17,7 +17,6 @@ from repro.blocks import (
     unary_flops,
 )
 from repro.blocks.kernels import (
-    AGGREGATION_KERNELS,
     BINARY_KERNELS,
     UNARY_KERNELS,
     aggregate_combine,

@@ -45,13 +45,29 @@ class TestStageLifecycle:
         with pytest.raises(RuntimeError):
             stage.close()
 
-    def test_error_inside_stage_skips_accounting(self):
+    def test_error_inside_stage_records_aborted_stage(self):
+        """A failing stage body keeps its partial traffic visible (zero
+        modeled seconds, aborted=True) instead of vanishing from metrics."""
         c = cluster()
         with pytest.raises(ValueError):
             with c.stage("s0") as stage:
                 stage.task().receive(100)
                 raise ValueError("boom")
-        assert c.metrics.num_stages == 0
+        assert c.metrics.num_stages == 1
+        assert c.metrics.num_aborted_stages == 1
+        record = c.metrics.stages[0]
+        assert record.aborted
+        assert record.seconds == 0.0
+        assert record.consolidation_bytes == 100
+        assert c.metrics.elapsed_seconds == 0.0
+        assert c.metrics.comm_bytes == 100
+
+    def test_clean_stages_are_not_aborted(self):
+        c = cluster()
+        with c.stage("s0") as stage:
+            stage.task().receive(100)
+        assert c.metrics.num_aborted_stages == 0
+        assert not c.metrics.stages[0].aborted
 
     def test_peak_memory_across_tasks(self):
         c = cluster()

@@ -1,0 +1,111 @@
+"""Property tests relating the two time models.
+
+The aggregate model (Eq. 2 on stage totals) assumes perfect load balance,
+so it is a *lower bound* on the event-driven per-slot schedule: any skew
+can only lengthen the longest slot timeline.  On perfectly uniform task
+sets that either underfill the cluster or fill it in whole waves, greedy
+list scheduling achieves the balanced optimum and the two models agree to
+floating-point precision.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterRuntime, TaskContext, stage_seconds
+from repro.config import ClusterConfig
+
+
+def build_tasks(costs):
+    tasks = []
+    for i, (net, flops) in enumerate(costs):
+        t = TaskContext(f"t{i}", 1 << 40)
+        t.receive(net)
+        t.add_flops(flops)
+        tasks.append(t)
+    return tasks
+
+
+def aggregate_seconds(cluster, tasks):
+    return stage_seconds(
+        cluster,
+        num_tasks=len(tasks),
+        net_bytes=sum(t.consolidation_bytes for t in tasks),
+        flops=sum(t.flops for t in tasks),
+    )
+
+
+clusters = st.builds(
+    ClusterConfig,
+    num_nodes=st.integers(min_value=1, max_value=4),
+    tasks_per_node=st.integers(min_value=1, max_value=6),
+    task_launch_overhead=st.floats(min_value=0.0, max_value=0.2),
+)
+
+#: For the lower-bound property the launch overhead must be zero: the
+#: aggregate model bills ceil(n/slots) whole waves of overhead, but a real
+#: schedule can hide a straggler inside another slot's overhead time, so
+#: only the busy-time component is a true lower bound.
+no_overhead_clusters = st.builds(
+    ClusterConfig,
+    num_nodes=st.integers(min_value=1, max_value=4),
+    tasks_per_node=st.integers(min_value=1, max_value=6),
+    task_launch_overhead=st.just(0.0),
+)
+
+task_costs = st.tuples(
+    st.integers(min_value=0, max_value=10**9),  # net bytes
+    st.integers(min_value=0, max_value=10**10),  # flops
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    cluster=no_overhead_clusters,
+    costs=st.lists(task_costs, min_size=1, max_size=40),
+)
+def test_scheduled_never_beats_aggregate(cluster, costs):
+    """Eq. 2's balanced-cluster time lower-bounds any real schedule."""
+    tasks = build_tasks(costs)
+    scheduled = ClusterRuntime(cluster).run_stage("s", tasks).seconds
+    aggregate = aggregate_seconds(cluster, tasks)
+    assert scheduled >= aggregate - 1e-9 * max(1.0, aggregate)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    cluster=clusters,
+    cost=task_costs,
+    waves=st.integers(min_value=1, max_value=3),
+    partial=st.booleans(),
+)
+def test_uniform_tasks_match_aggregate_exactly(cluster, cost, waves, partial):
+    """Uniform tasks in whole waves (or a single partial wave) schedule to
+    exactly the aggregate model's balanced time."""
+    if partial:
+        num_tasks = max(1, cluster.total_tasks - 1)  # one underfull wave
+    else:
+        num_tasks = waves * cluster.total_tasks
+    tasks = build_tasks([cost] * num_tasks)
+    scheduled = ClusterRuntime(cluster).run_stage("s", tasks).seconds
+    aggregate = aggregate_seconds(cluster, tasks)
+    assert math.isclose(scheduled, aggregate, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(cluster=clusters, costs=st.lists(task_costs, min_size=1, max_size=30))
+def test_skew_ratio_at_least_one(cluster, costs):
+    stage = ClusterRuntime(cluster).run_stage("s", build_tasks(costs))
+    assert stage.skew_ratio >= 1.0 - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(cluster=clusters, costs=st.lists(task_costs, min_size=1, max_size=30))
+def test_every_task_runs_exactly_once_without_faults(cluster, costs):
+    tasks = build_tasks(costs)
+    stage = ClusterRuntime(cluster).run_stage("s", tasks)
+    assert stage.num_attempts == len(tasks)
+    assert stage.num_retries == 0
+    assert {a.task_id for a in stage.attempts} == {t.task_id for t in tasks}
+    assert all(a.outcome == "ok" for a in stage.attempts)

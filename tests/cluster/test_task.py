@@ -53,9 +53,23 @@ class TestMemory:
         assert t.memory_used == 200
         assert t.peak_memory == 300
 
-    def test_release_clamps_at_zero(self):
+    def test_over_release_raises(self):
+        """Releasing more than held masks double-release bugs; must raise."""
         t = ctx()
-        t.release(50)
+        with pytest.raises(ValueError, match="double release"):
+            t.release(50)
+
+    def test_over_release_after_partial_release_raises(self):
+        t = ctx()
+        t.receive(300)
+        t.release(300)
+        with pytest.raises(ValueError):
+            t.release(1)
+
+    def test_exact_release_ok(self):
+        t = ctx()
+        t.receive(300)
+        t.release(300)
         assert t.memory_used == 0
 
     def test_oom_raised_at_budget(self):

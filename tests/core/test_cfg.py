@@ -5,7 +5,6 @@ candidate plans containing the multiplications, while GEN-style generators
 fuse only the two element-wise operators.
 """
 
-import pytest
 
 from repro.core.cfg import (
     ExploitationReport,

@@ -14,7 +14,6 @@ from repro import FuseMEEngine, SystemDSLikeEngine
 from repro.baselines.gen import GenPlanner
 from repro.core.cfg import generate_fusion_plan
 from repro.lang import DAG, evaluate_many, log, matrix_input, sq, sum_of
-from repro.lang.builder import Expr
 from repro.matrix import rand_dense, rand_sparse
 
 from tests.conftest import make_config

@@ -9,7 +9,6 @@ from repro.cluster import SimulatedCluster
 from repro.core.cfo import CuboidFusedOperator
 from repro.core.cost import CostModel
 from repro.core.plan import PartialFusionPlan
-from repro.core.spaces import plan_layout
 from repro.lang import DAG, colsum, evaluate, log, matrix_input, nnz_mask, rowsum, sq, sum_of
 from repro.matrix import rand_dense, rand_sparse
 

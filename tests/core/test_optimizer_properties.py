@@ -5,7 +5,6 @@ exhaustive search (it may only prune dominated candidates), and every
 returned choice must respect the memory budget and the parallelism floor.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.cost import CostModel

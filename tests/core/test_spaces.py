@@ -1,6 +1,5 @@
 """Tests for the 3-D model space: axis tags, space trees, sparsity masks."""
 
-import pytest
 
 from repro.core.plan import PartialFusionPlan
 from repro.core.spaces import (

@@ -8,7 +8,7 @@ work where the baselines fail.
 import numpy as np
 import pytest
 
-from repro import FuseMEEngine, MatFastLikeEngine, SystemDSLikeEngine
+from repro import FuseMEEngine, MatFastLikeEngine
 from repro.datasets import density_skewed_matrix
 from repro.errors import SimulatedTimeoutError, TaskOutOfMemoryError
 from repro.lang import DAG, evaluate, log, matrix_input

@@ -1,0 +1,131 @@
+"""End-to-end fault tolerance: GNMF under the event-driven runtime.
+
+The acceptance bar for the runtime subsystem: with ``time_model="scheduled"``
+and a seeded ``FaultPlan(crash_prob=0.05, straggler_factor=4.0)``, a GNMF
+run completes with *bit-identical* factor matrices (faults cost time, never
+correctness), retries visible in metrics, and a valid Chrome-trace export —
+while the default config reproduces the seed's elapsed/comm numbers exactly.
+"""
+
+import json
+
+import numpy as np
+
+from repro import FaultPlan, FuseMEEngine
+from repro.cluster.runtime import validate_chrome_trace
+from repro.matrix.generators import rand_sparse
+from repro.workloads import GNMF
+
+from tests.conftest import make_config
+
+BS = 25
+
+#: Pinned at the seed commit (PR 0) by running this exact workload with
+#: the then-only aggregate timing path; time_model="aggregate" must keep
+#: reproducing these numbers bit-for-bit.
+SEED_ELAPSED_SECONDS = 0.41678630400000005
+SEED_COMM_BYTES = 3836576
+
+
+def gnmf_workload():
+    x = rand_sparse(200, 150, 0.05, BS, seed=7)
+    return GNMF(200, 150, 50, 0.05, BS), x
+
+
+def run_gnmf(config):
+    gnmf, x = gnmf_workload()
+    return gnmf.run(FuseMEEngine(config), x, iterations=2)
+
+
+class TestAggregateRegression:
+    def test_default_config_reproduces_seed_numbers_exactly(self):
+        """time_model="aggregate" (the default) must not move any seed
+        benchmark number: elapsed and comm are compared exactly."""
+        run = run_gnmf(make_config())
+        assert run.accumulated_seconds[-1] == SEED_ELAPSED_SECONDS
+        assert run.total_comm_bytes == SEED_COMM_BYTES
+
+    def test_explicit_aggregate_matches_default(self):
+        explicit = run_gnmf(make_config(time_model="aggregate"))
+        assert explicit.accumulated_seconds[-1] == SEED_ELAPSED_SECONDS
+        assert explicit.total_comm_bytes == SEED_COMM_BYTES
+
+
+class TestScheduledGNMF:
+    def test_scheduled_without_faults_completes_and_costs_at_least_aggregate(self):
+        aggregate = run_gnmf(make_config())
+        scheduled = run_gnmf(make_config(time_model="scheduled"))
+        assert scheduled.total_comm_bytes == aggregate.total_comm_bytes
+        # modest overhead-accounting differences aside, per-slot scheduling
+        # of real (skewed) cuboid tasks should not beat perfect balance
+        assert (
+            scheduled.accumulated_seconds[-1]
+            >= 0.95 * aggregate.accumulated_seconds[-1]
+        )
+
+    def test_faulty_run_is_bit_identical_and_traces(self, tmp_path):
+        plan = FaultPlan(crash_prob=0.05, straggler_factor=4.0, seed=11)
+        healthy = run_gnmf(make_config())
+        faulty_config = make_config(time_model="scheduled", fault_plan=plan)
+        faulty = run_gnmf(faulty_config)
+
+        # 1. faults cost modeled time, never correctness: outputs are
+        #    bit-identical to the fault-free run ...
+        assert np.array_equal(faulty.u.to_numpy(), healthy.u.to_numpy())
+        assert np.array_equal(faulty.v.to_numpy(), healthy.v.to_numpy())
+
+        # 2. ... and match the numpy reference of Eq. 6
+        gnmf, x = gnmf_workload()
+        xd = x.to_numpy()
+        u, v = gnmf.initial_factors(seed=0)
+        ud, vd = u.to_numpy(), v.to_numpy()
+        eps = 1e-9
+        for _ in range(2):
+            u_new = ud * (vd.T @ xd) / (vd.T @ vd @ ud + eps)
+            v_new = vd * (xd @ ud.T) / (vd @ ud @ ud.T + eps)
+            ud, vd = u_new, v_new
+        np.testing.assert_allclose(faulty.u.to_numpy(), ud, atol=1e-8)
+        np.testing.assert_allclose(faulty.v.to_numpy(), vd, atol=1e-8)
+
+        # 3. retries are visible in metrics and slow the run down
+        result = FuseMEEngine(faulty_config).execute(
+            [gnmf.query.u_update, gnmf.query.v_update],
+            {"X": x, "U": u, "V": v},
+        )
+        assert result.metrics.num_retries > 0
+        assert result.metrics.num_attempts > result.metrics.num_tasks
+        assert result.trace is not None
+
+        # 4. the trace exports as loadable Chrome-trace JSON
+        path = tmp_path / "gnmf-trace.json"
+        result.trace.write_chrome_trace(str(path))
+        document = json.loads(path.read_text())
+        validate_chrome_trace(document)
+        retry_events = [
+            e for e in document["traceEvents"] if e.get("cat") == "retry"
+        ]
+        assert len(retry_events) == result.metrics.num_retries
+
+    def test_straggler_plan_slows_the_run(self):
+        clean = run_gnmf(make_config(time_model="scheduled"))
+        slowed = run_gnmf(
+            make_config(
+                time_model="scheduled",
+                fault_plan=FaultPlan(
+                    straggler_factor=4.0, straggler_prob=1.0
+                ),
+            )
+        )
+        assert (
+            slowed.accumulated_seconds[-1] > clean.accumulated_seconds[-1]
+        )
+
+    def test_scheduled_skew_visible_in_metrics(self):
+        gnmf, x = gnmf_workload()
+        config = make_config(time_model="scheduled")
+        u, v = gnmf.initial_factors(seed=0)
+        result = FuseMEEngine(config).execute(
+            [gnmf.query.u_update, gnmf.query.v_update],
+            {"X": x, "U": u, "V": v},
+        )
+        assert result.metrics.max_skew_ratio >= 1.0

@@ -13,7 +13,7 @@ from repro import FuseMEEngine
 from repro.cluster import SimulatedCluster
 from repro.core.cfo import CuboidFusedOperator
 from repro.core.plan import PartialFusionPlan
-from repro.lang import DAG, Expr, evaluate, log, matrix_input, sq, sum_of
+from repro.lang import DAG, evaluate, log, matrix_input, sq, sum_of
 from repro.matrix import rand_dense, rand_sparse
 
 from tests.conftest import make_config

@@ -5,7 +5,7 @@ import pytest
 
 from repro import FuseMEEngine
 from repro.cluster import SimulatedCluster
-from repro.execution import ExecutionResult, as_dag
+from repro.execution import as_dag
 from repro.lang import DAG, matrix_input
 from repro.matrix import rand_dense
 

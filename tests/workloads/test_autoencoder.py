@@ -1,6 +1,5 @@
 """Tests for the AutoEncoder workload."""
 
-import numpy as np
 import pytest
 
 from repro import FuseMEEngine, LocalXLAEngine, SystemDSLikeEngine
