@@ -1,0 +1,163 @@
+"""Wall-clock A/B of the execution fast path (not a paper figure).
+
+Runs each workload twice on identical inputs: once with every fast path
+disabled (``plan_cache_size=0, slice_reuse=False, local_parallelism=1`` —
+the pre-fast-path engine) and once with the defaults.  Reports real elapsed
+time, verifies the fast path is invisible (bit-identical outputs, identical
+modeled metrics), and writes ``BENCH_wallclock.json`` next to this script.
+
+Exits non-zero if the fast run never hit the plan cache or if any
+invisibility check fails — CI runs this with ``--quick`` as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import FuseMEEngine
+from repro.lang import DAG, log, matrix_input
+from repro.matrix import rand_dense, rand_sparse
+from repro.workloads import GNMF
+from repro.workloads.als import als_loss_query
+
+from common import BLOCK_SIZE, bench_config
+
+BASELINE_OPTIONS = dict(plan_cache_size=0, slice_reuse=False, local_parallelism=1)
+
+
+def wallclock_config(**options):
+    """The Figure 14 cluster shape (4 nodes x 6 tasks, 6 MiB budget)."""
+    return bench_config(
+        num_nodes=4, tasks_per_node=6,
+        task_memory_budget=6 * 1024 * 1024,
+        **options,
+    )
+
+
+def run_gnmf(options, quick):
+    users, items, factors = (450, 300, 50) if quick else (975, 600, 50)
+    iterations = 3 if quick else 10
+    gnmf = GNMF(users, items, factors, density=0.05, block_size=BLOCK_SIZE)
+    x = rand_sparse(users, items, 0.05, BLOCK_SIZE, seed=7)
+    engine = FuseMEEngine(wallclock_config(**options))
+    start = time.perf_counter()
+    run = gnmf.run(engine, x, iterations=iterations, seed=0)
+    wall = time.perf_counter() - start
+    modeled = [(it.elapsed_seconds, it.comm_bytes) for it in run.iterations]
+    outputs = [run.u.to_numpy(), run.v.to_numpy()]
+    return wall, modeled, outputs, engine
+
+
+def run_als(options, quick):
+    rows, cols, factors = (300, 225, 50) if quick else (750, 500, 50)
+    repeats = 3 if quick else 10
+    query = als_loss_query(rows, cols, factors, density=0.05,
+                           block_size=BLOCK_SIZE)
+    inputs = {
+        "X": rand_sparse(rows, cols, 0.05, BLOCK_SIZE, seed=17),
+        "U": rand_dense(rows, factors, BLOCK_SIZE, seed=18),
+        "V": rand_dense(factors, cols, BLOCK_SIZE, seed=19),
+    }
+    engine = FuseMEEngine(wallclock_config(**options))
+    modeled, outputs = [], []
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = engine.execute(query.expr, inputs)
+        modeled.append((result.metrics.elapsed_seconds, result.metrics.comm_bytes))
+        outputs.append(result.output().to_numpy())
+    wall = time.perf_counter() - start
+    return wall, modeled, outputs, engine
+
+
+def run_fig12(options, quick):
+    """One Figure 12 regime: the NMF micro-query ``X * log(U x V^T + eps)``."""
+    rows, cols, common = (250, 250, 50) if quick else (500, 500, 100)
+    repeats = 3 if quick else 5
+    x_expr = matrix_input("X", rows, cols, BLOCK_SIZE, density=0.05)
+    u_expr = matrix_input("U", rows, common, BLOCK_SIZE)
+    v_expr = matrix_input("V", cols, common, BLOCK_SIZE)
+    dag = DAG((x_expr * log(u_expr @ v_expr.T + 1e-8)).node)
+    inputs = {
+        "X": rand_sparse(rows, cols, 0.05, BLOCK_SIZE, seed=27),
+        "U": rand_dense(rows, common, BLOCK_SIZE, seed=28),
+        "V": rand_dense(cols, common, BLOCK_SIZE, seed=29),
+    }
+    engine = FuseMEEngine(wallclock_config(**options))
+    modeled, outputs = [], []
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = engine.execute(dag, inputs)
+        modeled.append((result.metrics.elapsed_seconds, result.metrics.comm_bytes))
+        outputs.append(result.output().to_numpy())
+    wall = time.perf_counter() - start
+    return wall, modeled, outputs, engine
+
+
+WORKLOADS = [
+    ("gnmf_10iter", run_gnmf),
+    ("als_loss", run_als),
+    ("fig12_nmf", run_fig12),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller shapes / fewer iterations (CI smoke)")
+    parser.add_argument("--output", default=None,
+                        help="path of the JSON report "
+                             "(default: BENCH_wallclock.json next to this script)")
+    args = parser.parse_args()
+
+    report = {"quick": args.quick, "workloads": {}}
+    failures = []
+    for name, runner in WORKLOADS:
+        base_wall, base_modeled, base_out, _ = runner(BASELINE_OPTIONS, args.quick)
+        fast_wall, fast_modeled, fast_out, engine = runner({}, args.quick)
+
+        modeled_equal = base_modeled == fast_modeled
+        bit_identical = all(
+            np.array_equal(a, b) for a, b in zip(base_out, fast_out)
+        )
+        entry = {
+            "baseline_wall_seconds": round(base_wall, 4),
+            "fast_wall_seconds": round(fast_wall, 4),
+            "speedup": round(base_wall / fast_wall, 2),
+            "modeled_equal": modeled_equal,
+            "bit_identical": bit_identical,
+            "plan_cache_hits": engine.plan_cache.hits,
+            "plan_cache_misses": engine.plan_cache.misses,
+            "slice_cache_hits": engine.slice_cache.hits,
+            "slice_cache_misses": engine.slice_cache.misses,
+        }
+        report["workloads"][name] = entry
+        print(f"{name:12s}  baseline {base_wall:7.3f}s  fast {fast_wall:7.3f}s  "
+              f"{entry['speedup']:5.2f}x  plan-cache {engine.plan_cache.hits} hits  "
+              f"modeled_equal={modeled_equal}  bit_identical={bit_identical}")
+
+        if engine.plan_cache.hits == 0:
+            failures.append(f"{name}: plan cache never hit")
+        if not modeled_equal:
+            failures.append(f"{name}: modeled metrics changed")
+        if not bit_identical:
+            failures.append(f"{name}: outputs differ")
+
+    out_path = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent / "BENCH_wallclock.json"
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,5 +51,13 @@ class DistMELikeEngine(Engine):
         plan = unit.plan
         if plan.contains_matmul:
             node = plan.main_matmul()
-            return CuboidMatMul(node, plan.dag, self.config).execute(cluster, env)
+            hint = self._unit_hint()
+            if hint is not None:
+                # plan-cache hit: skip the per-multiplication (P, Q, R) search
+                operator = CuboidMatMul(node, plan.dag, self.config, pqr=hint.pqr)
+                operator.optimizer_result = hint
+            else:
+                operator = CuboidMatMul(node, plan.dag, self.config)
+                self._store_unit_hint(operator.optimizer_result)
+            return operator.execute(cluster, env)
         return FusedCellOperator(plan, self.config).execute(cluster, env)

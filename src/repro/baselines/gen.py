@@ -102,16 +102,20 @@ class GenPlanner:
     def _matmul_chain(
         self, dag: DAG, node: Node
     ) -> Optional[tuple[MatMulNode, list[Node]]]:
-        """Walk down through single-consumer element-wise ops to a matmul."""
+        """Walk down through single-consumer element-wise ops to a matmul.
+
+        DAG roots cannot be fused through — even with a single consumer
+        their value must materialize on its own — so they stop the walk.
+        """
         path: list[Node] = []
         current = node
         while True:
             if isinstance(current, MatMulNode):
-                if dag.consumers(current) != 1:
+                if dag.consumers(current) != 1 or current in dag.roots:
                     return None
                 return current, path
             if isinstance(current, (UnaryNode, BinaryNode)):
-                if dag.consumers(current) != 1:
+                if dag.consumers(current) != 1 or current in dag.roots:
                     return None
                 path.append(current)
                 matrix_children = [
@@ -127,7 +131,11 @@ class GenPlanner:
         """Single-consumer transposes feeding the multiplication."""
         found: set[Node] = set()
         for child in mm.inputs:
-            if isinstance(child, TransposeNode) and dag.consumers(child) == 1:
+            if (
+                isinstance(child, TransposeNode)
+                and dag.consumers(child) == 1
+                and child not in dag.roots
+            ):
                 found.add(child)
         return found
 
@@ -135,7 +143,7 @@ class GenPlanner:
         """Absorb the single-consumer element-wise / aggregation chain above."""
         grown: set[Node] = set()
         current = node
-        while dag.consumers(current) == 1:
+        while dag.consumers(current) == 1 and current not in dag.roots:
             parents = dag.parents(current)
             if not parents:
                 break
@@ -193,7 +201,7 @@ class GenPlanner:
         the absorbed operators and the top of the chain."""
         grown: set[Node] = set()
         current = node
-        while dag.consumers(current) == 1:
+        while dag.consumers(current) == 1 and current not in dag.roots:
             parent = dag.parents(current)[0]
             if isinstance(parent, TransposeNode):
                 grown.add(parent)

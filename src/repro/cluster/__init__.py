@@ -13,6 +13,8 @@ for partial cluster utilization when a stage has fewer tasks than slots.
 """
 
 from repro.cluster.metrics import MetricsCollector, StageRecord
+from repro.cluster.parallel import parallel_map
+from repro.cluster.slice_cache import SliceCache
 from repro.cluster.task import TaskContext, TransferKind
 from repro.cluster.executor import SimulatedCluster, Stage
 from repro.cluster.simulation import stage_seconds, task_seconds
@@ -27,6 +29,8 @@ from repro.cluster.runtime import (
 __all__ = [
     "MetricsCollector",
     "StageRecord",
+    "SliceCache",
+    "parallel_map",
     "TaskContext",
     "TransferKind",
     "SimulatedCluster",

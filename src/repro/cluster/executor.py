@@ -36,6 +36,7 @@ from repro.config import EngineConfig
 from repro.cluster.metrics import MetricsCollector, StageRecord
 from repro.cluster.runtime import ClusterRuntime, TraceRecorder
 from repro.cluster.simulation import stage_seconds, task_seconds
+from repro.cluster.slice_cache import SliceCache
 from repro.cluster.task import TaskContext
 from repro.errors import SimulatedTimeoutError
 
@@ -95,12 +96,14 @@ class Stage:
         mean = sum(busy) / len(busy)
         return max(busy) / mean if mean > 0 else 1.0
 
-    def abort(self) -> StageRecord:
-        """Record the stage as aborted: partial traffic kept, zero seconds.
-
-        Called by ``__exit__`` when the stage body raises (the O.O.M. and
-        timeout paths), so failed runs still report what they moved.
-        """
+    def _record(
+        self,
+        seconds: float,
+        attempts: Optional[int] = None,
+        skew: Optional[float] = None,
+        aborted: bool = False,
+    ) -> StageRecord:
+        """Record this stage exactly once; every exit path funnels here."""
         if self._closed:
             raise RuntimeError(f"stage {self.name!r} is already closed")
         self._closed = True
@@ -111,19 +114,27 @@ class Stage:
             consolidation_bytes=consolidation,
             aggregation_bytes=aggregation,
             flops=flops,
-            seconds=0.0,
+            seconds=seconds,
             peak_task_memory=peak,
-            skew_ratio=self._skew_ratio(),
-            aborted=True,
+            attempts=len(self.tasks) if attempts is None else attempts,
+            skew_ratio=self._skew_ratio() if skew is None else skew,
+            aborted=aborted,
         )
         self._cluster.metrics.record(record)
         return record
+
+    def abort(self) -> StageRecord:
+        """Record the stage as aborted: partial traffic kept, zero seconds.
+
+        Called by ``__exit__`` when the stage body raises (the O.O.M. and
+        timeout paths), so failed runs still report what they moved.
+        """
+        return self._record(seconds=0.0, aborted=True)
 
     def close(self) -> StageRecord:
         """Finalize: compute modeled time, record metrics, check timeout."""
         if self._closed:
             raise RuntimeError(f"stage {self.name!r} is already closed")
-        self._closed = True
         config = self._cluster.config
         consolidation, aggregation, flops, peak = self._totals()
         start = self._cluster.metrics.elapsed_seconds
@@ -135,7 +146,6 @@ class Stage:
                 )
             except Exception:
                 # retries exhausted / cluster lost: keep the traffic visible
-                self._closed = False
                 self.abort()
                 raise
             seconds = scheduled.seconds
@@ -152,18 +162,7 @@ class Stage:
             attempts = len(self.tasks)
             skew = self._skew_ratio()
 
-        record = StageRecord(
-            name=self.name,
-            num_tasks=len(self.tasks),
-            consolidation_bytes=consolidation,
-            aggregation_bytes=aggregation,
-            flops=flops,
-            seconds=seconds,
-            peak_task_memory=peak,
-            attempts=attempts,
-            skew_ratio=skew,
-        )
-        self._cluster.metrics.record(record)
+        record = self._record(seconds=seconds, attempts=attempts, skew=skew)
         if self._cluster.trace is not None:
             self._cluster.trace.stage(
                 self.name,
@@ -197,6 +196,8 @@ class SimulatedCluster:
     ):
         self.config = config or EngineConfig()
         self.metrics = MetricsCollector()
+        #: Shared consolidation slabs, reset by the engine per execute.
+        self.slice_cache = SliceCache(enabled=self.config.slice_reuse)
         if trace is None and self.config.time_model == "scheduled":
             trace = TraceRecorder()
         self.trace = trace

@@ -8,8 +8,9 @@ time* (modeled seconds, Figures 12(a-d,h), 14(a-c,e-g), 15).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Dict, Iterator
 
 
 @dataclass(frozen=True)
@@ -49,12 +50,39 @@ class StageRecord:
 
 @dataclass
 class MetricsCollector:
-    """Accumulates stage records and running totals for one engine run."""
+    """Accumulates stage records and running totals for one engine run.
+
+    Besides the modeled stage records, a collector carries fast-path
+    *counters* (plan-cache hits/misses, slice-cache hits/misses, thread-pool
+    usage).  Counters are observability only: they never feed the modeled
+    numbers, so two runs may differ in counters while being identical in
+    every total below.  Recording is thread-safe — parallel local evaluation
+    (``EngineConfig.local_parallelism``) may complete tasks concurrently.
+    """
 
     stages: list[StageRecord] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, stage: StageRecord) -> None:
-        self.stages.append(stage)
+        with self._lock:
+            self.stages.append(stage)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment an observability counter (thread-safe)."""
+        with self._lock:
+            self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def bump_max(self, counter: str, value: int) -> None:
+        """Raise a high-water-mark counter to *value* (thread-safe)."""
+        with self._lock:
+            if value > self.counters.get(counter, 0):
+                self.counters[counter] = value
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
 
     # -- totals -----------------------------------------------------------
 
@@ -113,16 +141,43 @@ class MetricsCollector:
 
     # -- bookkeeping -------------------------------------------------------
 
+    def totals(self) -> Dict[str, object]:
+        """Every modeled total as one dict (counters excluded on purpose:
+        they may legitimately differ between runs whose modeled behaviour
+        is identical)."""
+        return {
+            "num_stages": self.num_stages,
+            "num_tasks": self.num_tasks,
+            "num_attempts": self.num_attempts,
+            "consolidation_bytes": self.consolidation_bytes,
+            "aggregation_bytes": self.aggregation_bytes,
+            "flops": self.flops,
+            "elapsed_seconds": self.elapsed_seconds,
+            "peak_task_memory": self.peak_task_memory,
+            "num_aborted_stages": self.num_aborted_stages,
+        }
+
     def reset(self) -> None:
-        self.stages.clear()
+        with self._lock:
+            self.stages.clear()
+            self.counters.clear()
 
     def snapshot(self) -> "MetricsCollector":
         """An independent copy of the current state."""
-        return MetricsCollector(stages=list(self.stages))
+        return MetricsCollector(
+            stages=list(self.stages), counters=dict(self.counters)
+        )
 
     def diff_since(self, snapshot: "MetricsCollector") -> "MetricsCollector":
         """Metrics accumulated after *snapshot* was taken."""
-        return MetricsCollector(stages=self.stages[snapshot.num_stages:])
+        deltas = {
+            name: value - snapshot.counters.get(name, 0)
+            for name, value in self.counters.items()
+            if value != snapshot.counters.get(name, 0)
+        }
+        return MetricsCollector(
+            stages=self.stages[snapshot.num_stages:], counters=deltas
+        )
 
     def __iter__(self) -> Iterator[StageRecord]:
         return iter(self.stages)

@@ -1,0 +1,49 @@
+"""Opt-in thread-pool evaluation of simulated tasks.
+
+``EngineConfig(local_parallelism=N)`` lets operators evaluate their per-task
+work items on ``N`` real threads.  The numpy/scipy kernels doing the actual
+math release the GIL, so cuboid tasks genuinely overlap.  Determinism is
+preserved by construction: tasks are *allocated* serially (stable task ids
+and stage ordering), each work item only touches its own
+:class:`~repro.cluster.task.TaskContext`, results come back in submission
+order, and any cross-task merging (partial-product sums, tile placement)
+happens after the map in the same fixed order the serial loop used — so
+matrix outputs are bit-identical and every modeled number is unchanged at
+any parallelism level.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.cluster.metrics import MetricsCollector
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def parallel_map(
+    fn: Callable[[Item], Result],
+    items: Sequence[Item],
+    parallelism: int,
+    metrics: Optional[MetricsCollector] = None,
+) -> List[Result]:
+    """Map *fn* over *items*, in order, on up to *parallelism* threads.
+
+    Serial (a plain loop) when ``parallelism <= 1`` or there is at most one
+    item.  Exceptions propagate exactly as in the serial loop: the first
+    failing item's exception is raised in submission order.  When *metrics*
+    is given, pool usage counters are bumped (observability only — counters
+    never feed modeled numbers).
+    """
+    items = list(items)
+    if parallelism <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(parallelism, len(items))
+    if metrics is not None:
+        metrics.bump("pool_tasks", len(items))
+        metrics.bump("pool_batches")
+        metrics.bump_max("pool_width_max", workers)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

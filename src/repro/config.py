@@ -110,6 +110,19 @@ class EngineConfig:
     #: Seeded fault injection (crashes / stragglers / node loss), only
     #: honoured by the ``"scheduled"`` time model.
     fault_plan: Optional["FaultPlan"] = None
+    #: Real worker threads evaluating cuboid/block tasks concurrently.
+    #: Simulated numbers (modeled seconds, traffic, flops) and matrix
+    #: outputs are identical at any setting; only wall-clock changes.
+    local_parallelism: int = 1
+    #: Fusion-plan cache capacity (entries) per engine; 0 disables caching.
+    #: Iterative workloads re-executing a structurally identical DAG skip
+    #: CFG planning and the (P, Q, R) search entirely on a hit.
+    plan_cache_size: int = 64
+    #: Share one materialized slab per ``(matrix, row_range, col_range)``
+    #: within an execute instead of re-copying it for every task.  Modeled
+    #: traffic is unaffected; False forces the pre-fast-path copies (for
+    #: A/B wall-clock measurements).
+    slice_reuse: bool = True
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -123,6 +136,10 @@ class EngineConfig:
                 f"time_model must be one of {TIME_MODELS}, "
                 f"got {self.time_model!r}"
             )
+        if self.local_parallelism <= 0:
+            raise ValueError("local_parallelism must be positive")
+        if self.plan_cache_size < 0:
+            raise ValueError("plan_cache_size cannot be negative")
 
     def with_cluster(self, **kwargs) -> "EngineConfig":
         """Return a copy with cluster fields replaced (e.g. ``num_nodes=2``)."""

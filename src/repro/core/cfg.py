@@ -88,8 +88,10 @@ def exploration_phase(dag: DAG) -> list[PartialFusionPlan]:
                     if child.is_operator and child in workload and child not in rejected:
                         found.append(child)
                 # outgoing adjacents: parents (skip once the top is fixed,
-                # and never through a member that must materialize anyway)
-                if top_reached or dag.consumers(member) != 1:
+                # and never through a member that must materialize anyway —
+                # a DAG root consumed by another root has one outgoing edge
+                # but still has to surface its own value)
+                if top_reached or dag.consumers(member) != 1 or member in dag.roots:
                     continue
                 for parent in dag.parents(member):
                     if parent in workload and parent not in rejected:
@@ -376,7 +378,7 @@ def _cell_fuse_leftovers(dag: DAG, leftovers: list[Node]) -> list[set[Node]]:
                         group.add(child)
                         remaining.discard(child)
                         changed = True
-                if dag.consumers(member) == 1:
+                if dag.consumers(member) == 1 and member not in dag.roots:
                     for parent in dag.parents(member):
                         if parent not in remaining or isinstance(parent, MatMulNode):
                             continue

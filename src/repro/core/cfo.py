@@ -23,6 +23,8 @@ from typing import Dict, Mapping, Optional
 from repro.blocks import Block
 from repro.blocks.kernels import AGGREGATION_KERNELS, aggregate_combine
 from repro.cluster.executor import SimulatedCluster
+from repro.cluster.parallel import parallel_map
+from repro.cluster.slice_cache import SliceCache
 from repro.cluster.task import TaskContext, TransferKind
 from repro.config import EngineConfig
 from repro.core.cuboid import CuboidPartitioning
@@ -80,6 +82,10 @@ class CuboidFusedOperator:
         self.mask: Optional[SparsityMask] = None
         if config.sparsity_exploitation:
             self.mask = find_sparsity_mask(plan, self.mm, self.tree)
+        # bound to the cluster's per-execute cache in execute(); the default
+        # keeps standalone operator use (tests constructing a CFO directly)
+        # working with fresh copies
+        self._slices = SliceCache(enabled=False)
 
     # -- public API -------------------------------------------------------------
 
@@ -89,6 +95,7 @@ class CuboidFusedOperator:
 
     def execute(self, cluster: SimulatedCluster, env: Env) -> BlockedMatrix:
         """Run the CFO and return the materialized plan output."""
+        self._slices = cluster.slice_cache
         values = self._resolve_frontier(env)
         if self.partitioning.r == 1:
             tiles = self._run_single_pass(cluster, values)
@@ -143,7 +150,14 @@ class CuboidFusedOperator:
         r: int,
         charge_network: bool = True,
     ) -> SliceEnv:
-        """Consolidate every frontier slice this cuboid's task needs."""
+        """Consolidate every frontier slice this cuboid's task needs.
+
+        Materialized slabs come from the cluster's per-execute
+        :class:`~repro.cluster.slice_cache.SliceCache` — tasks sharing a
+        slab share one real copy.  The per-task ``received`` dedupe is about
+        *charging*: a task consuming the same slab through several frontier
+        edges declares the transfer once, exactly as before.
+        """
         frontier: Dict[tuple[Node, int], Block] = {}
         received: Dict[tuple[Node, tuple], Block] = {}
         for edge, tag in self.tags.frontier_tags.items():
@@ -158,7 +172,7 @@ class CuboidFusedOperator:
             if cached is not None:
                 frontier[edge] = cached
                 continue
-            block = matrix.block_slice(row_range, col_range).as_single_block()
+            block = self._slices.get(matrix, row_range, col_range)
             if charge_network:
                 task.receive(block)
             else:
@@ -174,8 +188,14 @@ class CuboidFusedOperator:
     ) -> Dict[tuple[int, int], Block]:
         tiles: Dict[tuple[int, int], Block] = {}
         with cluster.stage(f"cfo[{self.pqr}]:compute") as stage:
-            for p, q, r in self.partitioning.cuboids():
-                task = stage.task()
+            # tasks are allocated serially (stable ids), evaluated possibly
+            # in parallel, and results collected in cuboid order — tile
+            # placement is identical at any parallelism level
+            cuboids = list(self.partitioning.cuboids())
+            work = [((p, q, r), stage.task()) for p, q, r in cuboids]
+
+            def run_cuboid(item: tuple[tuple[int, int, int], TaskContext]) -> Block:
+                (p, q, r), task = item
                 env = self._bind_slices(values, task, p, q, r)
                 if self.mask is not None:
                     tile = evaluate_masked_slice(
@@ -186,6 +206,13 @@ class CuboidFusedOperator:
                     tile = evaluate_slice(self.plan, env)
                 task.add_flops(env.flops)
                 task.hold_output(tile)
+                return tile
+
+            results = parallel_map(
+                run_cuboid, work, self.config.local_parallelism,
+                metrics=cluster.metrics,
+            )
+            for (p, q, _), tile in zip(cuboids, results):
                 tiles[(p, q)] = tile
         return tiles
 
@@ -196,8 +223,11 @@ class CuboidFusedOperator:
     ) -> Dict[tuple[int, int], Block]:
         partials: Dict[tuple[int, int], list[Block]] = {}
         with cluster.stage(f"cfo[{self.pqr}]:compute") as stage:
-            for p, q, r in self.partitioning.cuboids():
-                task = stage.task()
+            cuboids = list(self.partitioning.cuboids())
+            work = [((p, q, r), stage.task()) for p, q, r in cuboids]
+
+            def run_cuboid(item: tuple[tuple[int, int, int], TaskContext]) -> Block:
+                (p, q, r), task = item
                 env = self._bind_slices(values, task, p, q, r)
                 if self.mask is not None:
                     rows, cols = mask_positions(self.plan, env, self.mask)
@@ -206,43 +236,65 @@ class CuboidFusedOperator:
                     partial = evaluate_slice(self.plan, env, root=self.mm)
                 task.add_flops(env.flops)
                 task.hold_output(partial)
+                return partial
+
+            results = parallel_map(
+                run_cuboid, work, self.config.local_parallelism,
+                metrics=cluster.metrics,
+            )
+            # grouped in cuboid order, so each (p, q) list is in r-order —
+            # the same merge order the serial loop produced
+            for (p, q, _), partial in zip(cuboids, results):
                 partials.setdefault((p, q), []).append(partial)
 
         tiles: Dict[tuple[int, int], Block] = {}
         with cluster.stage(f"cfo[{self.pqr}]:aggregate") as stage:
-            for p in range(self.partitioning.p):
-                for q in range(self.partitioning.q):
-                    task = stage.task()
-                    parts = partials[(p, q)]
-                    # the owner task (p, q, 0) holds its own partial; others
-                    # shuffle theirs over (the matrix aggregation step)
-                    task.receive_local(parts[0])
-                    summed = parts[0]
-                    for part in parts[1:]:
-                        task.receive(part, kind=TransferKind.AGGREGATION)
-                        merged = _add_blocks(summed, part)
-                        task.add_flops(part.nnz if part.is_sparse else
-                                       part.shape[0] * part.shape[1])
-                        # partials merge as they stream in; the consumed
-                        # tiles leave the ledger (only the running sum stays)
-                        task.release(part)
-                        task.release(summed)
-                        task.receive_local(merged)
-                        summed = merged
-                    env = self._bind_slices(
-                        values, task, p, q, 0, charge_network=False
+            owners = [
+                (p, q)
+                for p in range(self.partitioning.p)
+                for q in range(self.partitioning.q)
+            ]
+            work = [((p, q), stage.task()) for p, q in owners]
+
+            def run_owner(item: tuple[tuple[int, int], TaskContext]) -> Block:
+                (p, q), task = item
+                parts = partials[(p, q)]
+                # the owner task (p, q, 0) holds its own partial; others
+                # shuffle theirs over (the matrix aggregation step)
+                task.receive_local(parts[0])
+                summed = parts[0]
+                for part in parts[1:]:
+                    task.receive(part, kind=TransferKind.AGGREGATION)
+                    merged = _add_blocks(summed, part)
+                    task.add_flops(part.nnz if part.is_sparse else
+                                   part.shape[0] * part.shape[1])
+                    # partials merge as they stream in; the consumed
+                    # tiles leave the ledger (only the running sum stays)
+                    task.release(part)
+                    task.release(summed)
+                    task.receive_local(merged)
+                    summed = merged
+                env = self._bind_slices(
+                    values, task, p, q, 0, charge_network=False
+                )
+                env.bind_node(self.mm, summed)
+                if self.mask is not None:
+                    tile = finish_masked(
+                        self.plan, env, self.mm, self.mask, summed,
+                        self._tile_shape(p, q),
                     )
-                    env.bind_node(self.mm, summed)
-                    if self.mask is not None:
-                        tile = finish_masked(
-                            self.plan, env, self.mm, self.mask, summed,
-                            self._tile_shape(p, q),
-                        )
-                    else:
-                        tile = evaluate_slice(self.plan, env)
-                    task.add_flops(env.flops)
-                    task.hold_output(tile)
-                    tiles[(p, q)] = tile
+                else:
+                    tile = evaluate_slice(self.plan, env)
+                task.add_flops(env.flops)
+                task.hold_output(tile)
+                return tile
+
+            results = parallel_map(
+                run_owner, work, self.config.local_parallelism,
+                metrics=cluster.metrics,
+            )
+            for (p, q), tile in zip(owners, results):
+                tiles[(p, q)] = tile
         return tiles
 
     # -- output handling --------------------------------------------------------------------

@@ -49,10 +49,29 @@ class PlanCost:
 
 
 class CostModel:
-    """Evaluates Mem/Net/Com/Cost for a partial fusion plan's space tree."""
+    """Evaluates Mem/Net/Com/Cost for a partial fusion plan's space tree.
+
+    Each instance memoizes its estimates.  One parameter search evaluates
+    hundreds of ``(P, Q, R)`` candidates against the *same* plan/tree, and
+    the pruned search re-probes many of them for bounds
+    (``_raw_cost(1, q, r)``) before the full evaluation — the memo collapses
+    those repeats to dict lookups.  Keys use object identity for the
+    plan/tree (they are fixed for the lifetime of a search) and the memo
+    pins them so a recycled ``id()`` can never alias an entry.  Reported
+    ``evaluations`` counts are tallied by the optimizer itself, so
+    memoization changes no observable numbers — only wall-clock.
+    """
 
     def __init__(self, config: EngineConfig):
         self.config = config
+        self._memo: dict = {}
+        self._pins: dict = {}
+
+    def _pin(self, obj) -> int:
+        key = id(obj)
+        if key not in self._pins:
+            self._pins[key] = obj
+        return key
 
     # -- public entry points ------------------------------------------------
 
@@ -63,6 +82,20 @@ class CostModel:
         pqr: tuple[int, int, int],
     ) -> PlanCost:
         """Full cost of executing *plan* with the given partitioning."""
+        key = ("evaluate", self._pin(plan), self._pin(tree), pqr)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._evaluate(plan, tree, pqr)
+        self._memo[key] = result
+        return result
+
+    def _evaluate(
+        self,
+        plan: PartialFusionPlan,
+        tree: SpaceTree,
+        pqr: tuple[int, int, int],
+    ) -> PlanCost:
         mem = self.mem_est(plan, tree, pqr)
         net = self.net_est(
             tree, pqr,
@@ -96,10 +129,15 @@ class CostModel:
         pqr: tuple[int, int, int],
     ) -> float:
         """Estimated memory per task, Algorithm 1 + the plan output tile."""
+        key = ("mem", self._pin(plan), self._pin(tree), pqr)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         total = self._mem_tree(tree, pqr)
         if tree.produces_output:
             p, q, _ = pqr
             total += plan.root.meta.estimated_bytes / (p * q)
+        self._memo[key] = total
         return total
 
     def _mem_tree(self, tree: SpaceTree, pqr: tuple[int, int, int]) -> float:
@@ -136,9 +174,16 @@ class CostModel:
         ``outer_output_bytes`` overrides the outer product's tile volume
         (used when a sparsity mask makes the partials sparse).
         """
-        return self._net_tree(tree, pqr, multiplier=1.0,
-                              include_aggregation=include_aggregation,
-                              output_bytes=outer_output_bytes)
+        key = ("net", self._pin(tree), pqr, include_aggregation,
+               outer_output_bytes)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        total = self._net_tree(tree, pqr, multiplier=1.0,
+                               include_aggregation=include_aggregation,
+                               output_bytes=outer_output_bytes)
+        self._memo[key] = total
+        return total
 
     def _aggregated_tile_bytes(
         self, plan: PartialFusionPlan, tree: SpaceTree
@@ -150,14 +195,18 @@ class CostModel:
         """
         from repro.core.spaces import find_sparsity_mask
 
+        key = ("agg_tile", self._pin(plan), self._pin(tree))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         full = tree.mm.meta.estimated_bytes
-        if not self.config.sparsity_exploitation:
-            return full
-        mask = find_sparsity_mask(plan, tree.mm, tree)
-        if mask is None:
-            return full
-        driver = mask.mask_mul.inputs[mask.mask_operand_index]
-        return min(full, driver.meta.estimated_bytes)
+        if self.config.sparsity_exploitation:
+            mask = find_sparsity_mask(plan, tree.mm, tree)
+            if mask is not None:
+                driver = mask.mask_mul.inputs[mask.mask_operand_index]
+                full = min(full, driver.meta.estimated_bytes)
+        self._memo[key] = full
+        return full
 
     def _net_tree(
         self,
@@ -193,7 +242,13 @@ class CostModel:
 
     def com_est(self, tree: SpaceTree, pqr: tuple[int, int, int]) -> float:
         """Estimated floating point operations for the whole cluster."""
-        return self._com_tree(tree, pqr, multiplier=1.0)
+        key = ("com", self._pin(tree), pqr)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        total = self._com_tree(tree, pqr, multiplier=1.0)
+        self._memo[key] = total
+        return total
 
     def _com_tree(
         self, tree: SpaceTree, pqr: tuple[int, int, int], multiplier: float

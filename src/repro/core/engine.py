@@ -52,6 +52,9 @@ class FuseMEEngine(Engine):
             dag = refresh_leaf_metas(dag, metas)
         return super().execute(dag, inputs, cluster)
 
+    def planning_signature(self) -> tuple:
+        return super().planning_signature() + (self.optimizer_method,)
+
     def plan_query(self, dag: DAG) -> FusionPlan:
         self.last_report = ExploitationReport()
         return generate_fusion_plan(dag, self.config, report=self.last_report)
@@ -66,9 +69,16 @@ class FuseMEEngine(Engine):
         if isinstance(plan, MultiAggPlan):
             return MultiAggregationOperator(plan, self.config).execute(cluster, env)
         if plan.contains_matmul:
-            operator = CuboidFusedOperator(
-                plan, self.config, optimizer_method=self.optimizer_method
-            )
+            hint = self._unit_hint()
+            if hint is not None:
+                # plan-cache hit: reuse the cached (P*, Q*, R*) search outcome
+                operator = CuboidFusedOperator(plan, self.config, pqr=hint.pqr)
+                operator.optimizer_result = hint
+            else:
+                operator = CuboidFusedOperator(
+                    plan, self.config, optimizer_method=self.optimizer_method
+                )
+                self._store_unit_hint(operator.optimizer_result)
         else:
             operator = FusedCellOperator(plan, self.config)
         return operator.execute(cluster, env)

@@ -15,9 +15,11 @@ from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.cluster.executor import SimulatedCluster
 from repro.cluster.metrics import MetricsCollector
+from repro.cluster.slice_cache import SliceCache
 from repro.cluster.runtime import TraceRecorder
 from repro.config import EngineConfig
 from repro.core.plan import FusionPlan, PlanUnit
+from repro.core.plan_cache import PlanCache, PlanCacheEntry, dag_fingerprint
 from repro.errors import PlanError
 from repro.lang.builder import Expr
 from repro.lang.dag import DAG, Node
@@ -74,6 +76,16 @@ class Engine(ABC):
 
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config or EngineConfig()
+        #: Finished plans keyed by (planning signature, DAG fingerprint);
+        #: iterative workloads hit it from iteration 2 on.
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        #: Materialized consolidation slabs, shared across executes so an
+        #: iterative workload re-binding the same matrix (GNMF's ``X``)
+        #: skips the copy from iteration 2 on.
+        self.slice_cache = SliceCache(enabled=self.config.slice_reuse)
+        self._unit_hints: Optional[Dict[int, object]] = None
+        self._hint_sink: Optional[Dict[int, object]] = None
+        self._unit_index = -1
 
     # -- subclass hooks --------------------------------------------------------
 
@@ -94,6 +106,45 @@ class Engine(ABC):
         root node to its materialized matrix instead of a single matrix.
         """
 
+    def planning_signature(self) -> tuple:
+        """Everything besides DAG structure that can steer planning.
+
+        Part of the plan-cache key: a changed knob must miss, never reuse a
+        plan produced under different rules.  Subclasses with extra planner
+        state (e.g. the FuseME optimizer method) append to this tuple.
+        """
+        config = self.config
+        cluster = config.cluster
+        return (
+            type(self).__name__,
+            self.name,
+            cluster.num_nodes,
+            cluster.tasks_per_node,
+            cluster.task_memory_budget,
+            cluster.network_bandwidth,
+            cluster.compute_bandwidth,
+            cluster.task_launch_overhead,
+            cluster.input_split_bytes,
+            config.block_size,
+            config.sparsity_exploitation,
+            config.exploitation_phase,
+            config.overlap_comm_compute,
+            config.sparse_threshold,
+        )
+
+    # -- per-unit optimizer hints (populated by the plan cache) ---------------
+
+    def _unit_hint(self):
+        """The cached OptimizerResult for the unit currently running."""
+        if self._unit_hints is None:
+            return None
+        return self._unit_hints.get(self._unit_index)
+
+    def _store_unit_hint(self, result: object) -> None:
+        """Remember this unit's optimizer outcome for future cache hits."""
+        if self._hint_sink is not None and result is not None:
+            self._hint_sink[self._unit_index] = result
+
     # -- driver ---------------------------------------------------------------------
 
     def execute(
@@ -106,18 +157,65 @@ class Engine(ABC):
         dag = as_dag(query)
         dag.validate_inputs(inputs.keys())
         self._check_bindings(dag, inputs)
-        fusion_plan = self.plan_query(dag)
         if cluster is None:
             cluster = SimulatedCluster(self.config)
+        # attach the engine's long-lived slice cache; counters are bumped per
+        # execute as deltas so each run's metrics stand alone
+        self.slice_cache.enabled = self.config.slice_reuse
+        cluster.slice_cache = self.slice_cache
+        slice_hits0 = self.slice_cache.hits
+        slice_misses0 = self.slice_cache.misses
+
+        cache_key = None
+        entry = None
+        if self.plan_cache.enabled:
+            cache_key = (self.planning_signature(), dag_fingerprint(dag))
+            entry = self.plan_cache.get(cache_key)
+        if entry is not None:
+            # plan units reference the cached DAG's (identity-hashed) nodes,
+            # so execution proceeds against that DAG; inputs still bind by
+            # name, which the fingerprint guarantees to match
+            dag = entry.dag
+            fusion_plan = entry.fusion_plan
+            self._unit_hints = entry.unit_hints
+            self._hint_sink = None
+            cluster.metrics.bump("plan_cache_hits")
+        else:
+            fusion_plan = self.plan_query(dag)
+            self._unit_hints = None
+            self._hint_sink = {} if cache_key is not None else None
+            if cache_key is not None:
+                cluster.metrics.bump("plan_cache_misses")
+
         env: Dict[object, BlockedMatrix] = dict(inputs)
-        for unit in fusion_plan:
-            result = self.run_unit(unit, cluster, env)
-            if isinstance(result, dict):
-                # multi-output unit (Multi-aggregation fusion)
-                for node, value in result.items():
-                    env[node.node_id] = value
-            else:
-                env[unit.output.node_id] = result
+        try:
+            for index, unit in enumerate(fusion_plan):
+                self._unit_index = index
+                result = self.run_unit(unit, cluster, env)
+                if isinstance(result, dict):
+                    # multi-output unit (Multi-aggregation fusion)
+                    for node, value in result.items():
+                        env[node.node_id] = value
+                else:
+                    env[unit.output.node_id] = result
+        finally:
+            self._unit_index = -1
+            slices = cluster.slice_cache
+            hit_delta = slices.hits - slice_hits0
+            miss_delta = slices.misses - slice_misses0
+            if hit_delta or miss_delta:
+                cluster.metrics.bump("slice_cache_hits", hit_delta)
+                cluster.metrics.bump("slice_cache_misses", miss_delta)
+            hints = self._hint_sink
+            self._unit_hints = None
+            self._hint_sink = None
+
+        if cache_key is not None and entry is None:
+            # store only finished executions: an aborted run may have planned
+            # fine, but its hints would be incomplete
+            self.plan_cache.put(
+                cache_key, PlanCacheEntry(dag, fusion_plan, hints or {})
+            )
         outputs = {root: self._root_value(root, env) for root in dag.roots}
         return ExecutionResult(
             outputs=outputs,

@@ -33,11 +33,14 @@ class BlockedMatrix:
         keys are implicit zero tiles.
     """
 
-    __slots__ = ("meta", "blocks")
+    __slots__ = ("meta", "blocks", "version")
 
     def __init__(self, meta: MatrixMeta, blocks: Mapping[BlockKey, Block] | None = None):
         self.meta = meta
         self.blocks: Dict[BlockKey, Block] = {}
+        #: Mutation counter; ``set_block`` bumps it so slice caches keyed on
+        #: (identity, version) can never serve slabs of replaced content.
+        self.version = 0
         if blocks:
             for key, block in blocks.items():
                 self._validate_block(key, block)
@@ -102,6 +105,7 @@ class BlockedMatrix:
     def set_block(self, bi: int, bj: int, block: Block) -> None:
         self._validate_block((bi, bj), block)
         self.blocks[(bi, bj)] = block
+        self.version += 1
 
     def iter_blocks(self) -> Iterator[tuple[BlockKey, Block]]:
         """Iterate stored (non-zero) tiles in key order."""
@@ -197,9 +201,30 @@ class BlockedMatrix:
     # -- comparison --------------------------------------------------------------------
 
     def allclose(self, other: "BlockedMatrix", rtol: float = 1e-8, atol: float = 1e-8) -> bool:
+        """Tile-wise comparison; a key missing on either side is a zero tile.
+
+        Never densifies the whole matrix, so comparing two large sparse
+        matrices costs memory proportional to one block, not ``rows*cols``.
+        Falls back to a dense compare when block layouts differ.
+        """
         if self.shape != other.shape:
             return False
-        return np.allclose(self.to_numpy(), other.to_numpy(), rtol=rtol, atol=atol)
+        if self.block_size != other.block_size:
+            return np.allclose(self.to_numpy(), other.to_numpy(), rtol=rtol, atol=atol)
+        for key in self.blocks.keys() | other.blocks.keys():
+            mine = self.blocks.get(key)
+            theirs = other.blocks.get(key)
+            if mine is None:
+                left = np.zeros(self.meta.block_dims(*key))
+            else:
+                left = mine.to_numpy()
+            if theirs is None:
+                right = np.zeros(other.meta.block_dims(*key))
+            else:
+                right = theirs.to_numpy()
+            if not np.allclose(left, right, rtol=rtol, atol=atol):
+                return False
+        return True
 
     def __repr__(self) -> str:
         rows, cols = self.shape

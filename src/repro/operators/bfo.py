@@ -20,7 +20,9 @@ from typing import Dict, Mapping, Optional
 from repro.blocks import Block
 from repro.blocks.kernels import aggregate_combine, AGGREGATION_KERNELS
 from repro.cluster.executor import SimulatedCluster
-from repro.cluster.task import TransferKind
+from repro.cluster.parallel import parallel_map
+from repro.cluster.slice_cache import SliceCache
+from repro.cluster.task import TaskContext, TransferKind
 from repro.config import EngineConfig
 from repro.core.cfo import _scatter_tile
 from repro.core.fused_eval import SliceEnv, evaluate_masked_slice, evaluate_slice
@@ -53,6 +55,8 @@ class BroadcastFusedOperator:
         self.mask: Optional[SparsityMask] = None
         if config.sparsity_exploitation:
             self.mask = find_sparsity_mask(plan, self.mm, self.tree)
+        # rebound to the cluster's per-execute cache in execute()
+        self._slices = SliceCache(enabled=False)
 
     # -- main-matrix selection ----------------------------------------------------
 
@@ -73,6 +77,7 @@ class BroadcastFusedOperator:
     # -- execution --------------------------------------------------------------------
 
     def execute(self, cluster: SimulatedCluster, env: Env) -> BlockedMatrix:
+        self._slices = cluster.slice_cache
         values = self._resolve_frontier(env)
         main = self.main_source(values)
         num_tasks = self.num_partitions(values)
@@ -87,8 +92,10 @@ class BroadcastFusedOperator:
         task_partials: list[Dict[tuple[int, int], Block]] = []
 
         with cluster.stage("bfo:compute") as stage:
-            for t in range(num_tasks):
-                task = stage.task()
+            work = [(t, stage.task()) for t in range(num_tasks)]
+
+            def run_task(item: tuple[int, TaskContext]):
+                t, task = item
                 # broadcast: full copies of every non-main frontier source
                 for source, matrix in values.items():
                     if source is main:
@@ -105,6 +112,7 @@ class BroadcastFusedOperator:
                 else:
                     task.receive(values[main].nbytes // num_tasks)
 
+                placed: list[tuple[Block, int, int]] = []
                 partials: Dict[tuple[int, int], Block] = {}
                 for i, j in owned:
                     slice_env = self._bind_block(values, i, j)
@@ -127,10 +135,22 @@ class BroadcastFusedOperator:
                     else:
                         if out.nnz:
                             task.hold_output(out)
-                            self._place(result, out, i, j)
+                            placed.append((out, i, j))
                 if is_agg:
                     for block in partials.values():
                         task.hold_output(block)
+                return placed, partials
+
+            # evaluate possibly in parallel; mutate the shared result and
+            # the partial list serially, in task order, as the serial loop did
+            outcomes = parallel_map(
+                run_task, work, self.config.local_parallelism,
+                metrics=cluster.metrics,
+            )
+            for placed, partials in outcomes:
+                for out, i, j in placed:
+                    self._place(result, out, i, j)
+                if is_agg:
                     task_partials.append(partials)
 
         if is_agg:
@@ -151,7 +171,7 @@ class BroadcastFusedOperator:
             grid_rows, grid_cols = matrix.block_grid
             row_range = self._axis_range(tag[0], i, j, grid_rows)
             col_range = self._axis_range(tag[1], i, j, grid_cols)
-            frontier[edge] = matrix.block_slice(row_range, col_range).as_single_block()
+            frontier[edge] = self._slices.get(matrix, row_range, col_range)
         return SliceEnv(frontier=frontier)
 
     @staticmethod

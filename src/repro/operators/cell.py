@@ -15,7 +15,8 @@ from typing import Dict, Mapping
 from repro.blocks import Block
 from repro.blocks.kernels import AGGREGATION_KERNELS, aggregate_combine
 from repro.cluster.executor import SimulatedCluster
-from repro.cluster.task import TransferKind
+from repro.cluster.parallel import parallel_map
+from repro.cluster.task import TaskContext, TransferKind
 from repro.config import EngineConfig
 from repro.core.fused_eval import SliceEnv, evaluate_slice
 from repro.core.plan import PartialFusionPlan
@@ -73,9 +74,12 @@ class FusedCellOperator:
         task_partials: list[Dict[tuple[int, int], Block]] = []
 
         with cluster.stage(f"cell:{self.plan.label()[:40]}") as stage:
-            for t in range(num_tasks):
-                task = stage.task()
+            work = [(t, stage.task()) for t in range(num_tasks)]
+
+            def run_task(item: tuple[int, TaskContext]):
+                t, task = item
                 received: Dict[tuple[int, tuple], Block] = {}
+                placed: list[tuple[tuple[int, int], Block]] = []
                 partials: Dict[tuple[int, int], Block] = {}
                 for key in keys[t::num_tasks]:
                     frontier: Dict[Edge, Block] = {}
@@ -104,10 +108,22 @@ class FusedCellOperator:
                     else:
                         if out.nnz:
                             task.hold_output(out)
-                            result.set_block(key[0], key[1], out)
+                            placed.append((key, out))
                 if is_agg:
                     for block in partials.values():
                         task.hold_output(block)
+                return placed, partials
+
+            # kernels may run on several threads; the shared result matrix
+            # is only touched here, serially, in the serial loop's task order
+            outcomes = parallel_map(
+                run_task, work, self.config.local_parallelism,
+                metrics=cluster.metrics,
+            )
+            for placed, partials in outcomes:
+                for key, out in placed:
+                    result.set_block(key[0], key[1], out)
+                if is_agg:
                     task_partials.append(partials)
 
         if is_agg:

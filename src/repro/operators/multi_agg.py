@@ -14,7 +14,8 @@ from typing import Dict, Mapping
 from repro.blocks import Block
 from repro.blocks.kernels import AGGREGATION_KERNELS, aggregate_combine
 from repro.cluster.executor import SimulatedCluster
-from repro.cluster.task import TransferKind
+from repro.cluster.parallel import parallel_map
+from repro.cluster.task import TaskContext, TransferKind
 from repro.config import EngineConfig
 from repro.core.fused_eval import SliceEnv, evaluate_slice
 from repro.core.plan import MultiAggPlan
@@ -74,8 +75,10 @@ class MultiAggregationOperator:
         task_partials: list[Dict[GroupKey, Block]] = []
 
         with cluster.stage(f"multi-agg:{len(self.roots)}-outputs") as stage:
-            for t in range(num_tasks):
-                task = stage.task()
+            work = [(t, stage.task()) for t in range(num_tasks)]
+
+            def run_task(item: tuple[int, TaskContext]) -> Dict[GroupKey, Block]:
+                t, task = item
                 received: Dict[tuple[int, tuple], Block] = {}
                 partials: Dict[GroupKey, Block] = {}
                 for key in keys[t::num_tasks]:
@@ -103,7 +106,14 @@ class MultiAggregationOperator:
                     task.add_flops(slice_env.flops)
                 for block in partials.values():
                     task.hold_output(block)
-                task_partials.append(partials)
+                return partials
+
+            # results arrive in task order, so the combine stage sees the
+            # exact partial sequence the serial loop produced
+            task_partials.extend(parallel_map(
+                run_task, work, self.config.local_parallelism,
+                metrics=cluster.metrics,
+            ))
 
         return self._combine(cluster, task_partials)
 

@@ -1,0 +1,87 @@
+"""The execution fast path must be invisible in results and modeled metrics.
+
+Every combination of engine (CFO via FuseME, BFO/RFO via SystemDS), time
+model and ``local_parallelism`` must produce bit-identical outputs and the
+exact same MetricsCollector totals as the serial baseline with every fast
+path disabled — speed is the only thing allowed to change.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FuseMEEngine, SystemDSLikeEngine
+from repro.lang import DAG, matrix_input, nnz_mask, sq, sum_of
+from repro.matrix import rand_dense, rand_sparse
+
+from tests.conftest import make_config
+
+BS = 25
+M, N, K = 100, 75, 25
+
+
+def _query():
+    x = matrix_input("X", M, N, BS, density=0.1)
+    u = matrix_input("U", M, K, BS)
+    v = matrix_input("V", K, N, BS)
+    product = u @ v
+    return DAG([
+        (nnz_mask(x) * sq(x - product)).node,
+        sum_of(sq(product)).node,
+    ])
+
+
+def _inputs():
+    return {
+        "X": rand_sparse(M, N, 0.1, BS, seed=11),
+        "U": rand_dense(M, K, BS, seed=12),
+        "V": rand_dense(K, N, BS, seed=13),
+    }
+
+
+def _run(engine_cls, time_model, **options):
+    config = make_config(time_model=time_model, **options)
+    engine = engine_cls(config)
+    return engine.execute(_query(), _inputs())
+
+
+@pytest.mark.parametrize("engine_cls", [FuseMEEngine, SystemDSLikeEngine])
+@pytest.mark.parametrize("time_model", ["aggregate", "scheduled"])
+@pytest.mark.parametrize("parallelism", [1, 4])
+def test_fast_path_is_invisible(engine_cls, time_model, parallelism):
+    baseline = _run(
+        engine_cls,
+        time_model,
+        plan_cache_size=0,
+        slice_reuse=False,
+        local_parallelism=1,
+    )
+    fast = _run(engine_cls, time_model, local_parallelism=parallelism)
+
+    for root_base, root_fast in zip(baseline.dag.roots, fast.dag.roots):
+        assert np.array_equal(
+            baseline.outputs[root_base].to_numpy(),
+            fast.outputs[root_fast].to_numpy(),
+        )
+    # counters differ by design; every modeled quantity must be exact
+    assert baseline.metrics.totals() == fast.metrics.totals()
+
+
+@pytest.mark.parametrize("engine_cls", [FuseMEEngine, SystemDSLikeEngine])
+def test_repeated_execution_stays_invisible(engine_cls):
+    """Iteration 2 runs the cached plan + warm slice cache: still identical."""
+    engine = engine_cls(make_config())
+    inputs = _inputs()
+    first = engine.execute(_query(), inputs)
+    second = engine.execute(_query(), inputs)
+    assert first.metrics.totals() == second.metrics.totals()
+    for root_a, root_b in zip(first.dag.roots, second.dag.roots):
+        assert np.array_equal(
+            first.outputs[root_a].to_numpy(),
+            second.outputs[root_b].to_numpy(),
+        )
+
+
+def test_parallel_pool_counters_recorded():
+    result = _run(FuseMEEngine, "aggregate", local_parallelism=4)
+    assert result.metrics.counter("pool_tasks") > 0
+    assert result.metrics.counter("pool_width_max") <= 4
