@@ -21,7 +21,7 @@ Quickstart::
 """
 
 from repro.cluster.runtime import FaultPlan, TraceRecorder
-from repro.config import ClusterConfig, EngineConfig, paper_cluster
+from repro.config import ClusterConfig, EngineConfig, ServiceConfig, paper_cluster
 from repro.core import FuseMEEngine
 from repro.baselines import (
     DistMELikeEngine,
@@ -58,6 +58,7 @@ from repro.matrix import (
     zeros,
 )
 from repro.matrix.io import load_matrix, save_matrix
+from repro.serving import MatrixService, ServedResult, Session
 
 __version__ = "1.0.0"
 
@@ -65,6 +66,10 @@ __all__ = [
     "__version__",
     "ClusterConfig",
     "EngineConfig",
+    "ServiceConfig",
+    "MatrixService",
+    "ServedResult",
+    "Session",
     "FaultPlan",
     "TraceRecorder",
     "paper_cluster",

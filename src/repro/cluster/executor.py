@@ -201,6 +201,11 @@ class SimulatedCluster:
         if trace is None and self.config.time_model == "scheduled":
             trace = TraceRecorder()
         self.trace = trace
+        # modeled elapsed seconds at the start of the current query; the
+        # simulated timeout budget applies per query, not per cluster
+        # lifetime, so a long-lived (serving) cluster never times out a
+        # query for the time its predecessors spent
+        self._query_epoch = 0.0
         self.runtime = ClusterRuntime(
             self.config.cluster,
             fault_plan=self.config.fault_plan,
@@ -221,13 +226,25 @@ class SimulatedCluster:
         """Open a new stage (use as a context manager)."""
         return Stage(self, name)
 
+    def begin_query(self) -> None:
+        """Mark the start of a new query on this cluster.
+
+        Called by :meth:`Engine.execute <repro.execution.Engine.execute>`.
+        Accumulated metrics are left untouched (a shared cluster keeps
+        whole-job totals); only the timeout epoch advances, so each query
+        gets the full ``timeout_seconds`` budget regardless of how much
+        modeled time earlier queries on the same cluster consumed.
+        """
+        self._query_epoch = self.metrics.elapsed_seconds
+
     def reset_metrics(self) -> None:
         self.metrics.reset()
+        self._query_epoch = 0.0
         if self.trace is not None:
             self.trace.clear()
 
     def _check_timeout(self) -> None:
-        elapsed = self.metrics.elapsed_seconds
+        elapsed = self.metrics.elapsed_seconds - self._query_epoch
         if elapsed > self.config.timeout_seconds:
             raise SimulatedTimeoutError(elapsed, self.config.timeout_seconds)
 

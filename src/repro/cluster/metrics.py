@@ -162,21 +162,33 @@ class MetricsCollector:
             self.stages.clear()
             self.counters.clear()
 
-    def snapshot(self) -> "MetricsCollector":
-        """An independent copy of the current state."""
-        return MetricsCollector(
-            stages=list(self.stages), counters=dict(self.counters)
-        )
+    def copy(self) -> "MetricsCollector":
+        """An independent copy of the current state (stages + counters)."""
+        with self._lock:
+            return MetricsCollector(
+                stages=list(self.stages), counters=dict(self.counters)
+            )
 
-    def diff_since(self, snapshot: "MetricsCollector") -> "MetricsCollector":
-        """Metrics accumulated after *snapshot* was taken."""
+    def snapshot(self) -> Dict[str, object]:
+        """Everything observable as one plain dict: the modeled totals of
+        :meth:`totals` plus a ``"counters"`` sub-dict.  This is the public
+        embedding surface — ``service.status()`` and log lines include it
+        verbatim instead of reaching into fields."""
+        with self._lock:
+            counters = dict(self.counters)
+        snap = self.totals()
+        snap["counters"] = counters
+        return snap
+
+    def diff_since(self, baseline: "MetricsCollector") -> "MetricsCollector":
+        """Metrics accumulated after the :meth:`copy` *baseline* was taken."""
         deltas = {
-            name: value - snapshot.counters.get(name, 0)
+            name: value - baseline.counters.get(name, 0)
             for name, value in self.counters.items()
-            if value != snapshot.counters.get(name, 0)
+            if value != baseline.counters.get(name, 0)
         }
         return MetricsCollector(
-            stages=self.stages[snapshot.num_stages:], counters=deltas
+            stages=self.stages[baseline.num_stages:], counters=deltas
         )
 
     def __iter__(self) -> Iterator[StageRecord]:

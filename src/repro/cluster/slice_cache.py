@@ -109,6 +109,21 @@ class SliceCache:
     def cached_bytes(self) -> int:
         return self._bytes
 
+    def stats(self) -> dict:
+        """Hit/miss counts and occupancy as a plain dict (for status pages)."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            entries, cached = len(self._entries), self._bytes
+        total = hits + misses
+        return {
+            "enabled": self.enabled,
+            "entries": entries,
+            "bytes": cached,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
     def __repr__(self) -> str:
         return (
             f"SliceCache(enabled={self.enabled}, entries={self.num_entries}, "

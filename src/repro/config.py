@@ -79,6 +79,15 @@ class ClusterConfig:
         """``T`` in the paper: total parallel task slots in the cluster."""
         return self.num_nodes * self.tasks_per_node
 
+    @property
+    def total_memory_budget(self) -> int:
+        """Aggregate task memory across the cluster: ``T * theta_t`` bytes.
+
+        The serving layer's default admission budget — the most data the
+        cluster could hold in task memory at once.
+        """
+        return self.total_tasks * self.task_memory_budget
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -148,6 +157,66 @@ class EngineConfig:
     def with_options(self, **kwargs) -> "EngineConfig":
         """Return a copy with engine fields replaced."""
         return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the multi-tenant serving layer (:mod:`repro.serving`).
+
+    Admission control gates query start on two resources: *concurrency*
+    (at most ``max_concurrency`` queries execute per dispatch wave) and
+    *memory* (the summed footprint estimates of a wave never exceed
+    ``memory_budget_bytes``, which defaults to the cluster's aggregate task
+    memory ``N * Tc * theta_t``).  Queries that cannot start immediately
+    wait in a bounded per-tenant priority queue drained by deficit
+    round-robin; a full queue or a single query that could never fit the
+    budget is shed with :class:`~repro.errors.ServiceOverloadedError`, and
+    a queued query that waits longer than ``queue_timeout_seconds`` fails
+    with :class:`~repro.errors.QueryTimeoutError` instead of waiting
+    forever.
+    """
+
+    #: Maximum queries executed per dispatch wave (thread-pool width).
+    max_concurrency: int = 4
+    #: Total queued queries across all tenants before submits are shed.
+    max_queue_depth: int = 64
+    #: Wall-clock seconds a query may wait queued; ``None`` disables.
+    queue_timeout_seconds: Optional[float] = 30.0
+    #: Admission memory budget; ``None`` means the cluster's
+    #: :attr:`~ClusterConfig.total_memory_budget`.
+    memory_budget_bytes: Optional[int] = None
+    #: Deficit round-robin quantum: bytes of footprint each tenant may
+    #: admit per scheduling round.  Smaller quanta interleave tenants more
+    #: finely; the default serves one mid-sized query per tenant per round.
+    drr_quantum_bytes: int = 32 * 1024 * 1024
+    #: Result-cache capacity (entries); 0 disables result caching.
+    result_cache_entries: int = 128
+    #: Result-cache capacity in materialized output bytes.
+    result_cache_bytes: int = 256 * 1024 * 1024
+    #: Emit one summary log line every N completed queries; 0 disables.
+    log_every: int = 0
+    #: Dispatcher poll interval (seconds) while waiting for work/timeouts.
+    dispatch_poll_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        if self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive")
+        if self.queue_timeout_seconds is not None and self.queue_timeout_seconds <= 0:
+            raise ValueError("queue_timeout_seconds must be positive or None")
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive or None")
+        if self.drr_quantum_bytes <= 0:
+            raise ValueError("drr_quantum_bytes must be positive")
+        if self.result_cache_entries < 0:
+            raise ValueError("result_cache_entries cannot be negative")
+        if self.result_cache_bytes < 0:
+            raise ValueError("result_cache_bytes cannot be negative")
+        if self.log_every < 0:
+            raise ValueError("log_every cannot be negative")
+        if self.dispatch_poll_seconds <= 0:
+            raise ValueError("dispatch_poll_seconds must be positive")
 
 
 def paper_cluster(num_nodes: int = 8) -> EngineConfig:

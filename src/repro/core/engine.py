@@ -43,6 +43,11 @@ class FuseMEEngine(Engine):
         ``config.refine_input_metas`` the declared leaf densities are also
         replaced by the bound matrices' measured densities, sharpening the
         optimizer's size estimates."""
+        # clear per-query planner state up front: on a plan-cache hit
+        # plan_query never runs, and a stale report from an earlier query
+        # (possibly another tenant's, under the serving layer) must not
+        # leak into this one
+        self.last_report = None
         dag = simplify_dag(as_dag(query))
         if self.config.refine_input_metas:
             metas = {

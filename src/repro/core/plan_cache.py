@@ -138,6 +138,17 @@ class PlanCache:
     def num_entries(self) -> int:
         return len(self._entries)
 
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss counts and occupancy as a plain dict (for status pages)."""
+        total = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": self.num_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
     def __repr__(self) -> str:
         return (
             f"PlanCache(capacity={self.capacity}, entries={self.num_entries}, "

@@ -103,3 +103,43 @@ class SimulatedTimeoutError(ExecutionError):
 
 class DataError(ReproError, ValueError):
     """A dataset file or generator received invalid parameters."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """Base class for errors raised by the serving layer (repro.serving)."""
+
+
+class ServiceOverloadedError(ServingError):
+    """The service shed a query instead of queueing it unboundedly.
+
+    Raised at submit time when the admission queue is full, when a single
+    query's estimated footprint can never fit the service memory budget, or
+    when the service is shutting down with queries still queued.
+    """
+
+
+class QueryTimeoutError(ServingError):
+    """A queued query waited longer than the configured queue timeout.
+
+    Attributes
+    ----------
+    query_id:
+        Identifier of the expired query.
+    waited_seconds:
+        Wall-clock seconds the query spent queued.
+    timeout_seconds:
+        The configured queue timeout it exceeded.
+    """
+
+    def __init__(self, query_id: str, waited_seconds: float, timeout_seconds: float):
+        self.query_id = query_id
+        self.waited_seconds = waited_seconds
+        self.timeout_seconds = timeout_seconds
+        super().__init__(
+            f"query {query_id} waited {waited_seconds:.3f}s in the admission "
+            f"queue, exceeding the {timeout_seconds:.3f}s timeout"
+        )
+
+
+class SessionClosedError(ServingError):
+    """A query was submitted through a session that has been closed."""

@@ -9,6 +9,7 @@ operator runs a unit* — exactly the axes the paper's evaluation compares.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Union
@@ -55,7 +56,10 @@ class ExecutionResult:
 
     def output(self, index: int = 0) -> BlockedMatrix:
         """The *index*-th root's result (most queries have one root)."""
-        assert self.dag is not None
+        if self.dag is None:
+            raise ValueError(
+                "ExecutionResult has no DAG attached; read .outputs directly"
+            )
         roots = list(self.dag.roots)
         return self.outputs[roots[index]]
 
@@ -86,6 +90,12 @@ class Engine(ABC):
         self._unit_hints: Optional[Dict[int, object]] = None
         self._hint_sink: Optional[Dict[int, object]] = None
         self._unit_index = -1
+        #: Serializes execute() on this engine: planner hints, the slice
+        #: cache attachment and cluster-stage accounting are per-engine
+        #: mutable state, so concurrent submitters (the serving layer) take
+        #: turns; intra-query parallelism still comes from
+        #: ``config.local_parallelism``.
+        self._execute_lock = threading.RLock()
 
     # -- subclass hooks --------------------------------------------------------
 
@@ -153,12 +163,31 @@ class Engine(ABC):
         inputs: Mapping[str, BlockedMatrix],
         cluster: Optional[SimulatedCluster] = None,
     ) -> ExecutionResult:
-        """Plan and run *query* against named input matrices."""
+        """Plan and run *query* against named input matrices.
+
+        Thread-safe: concurrent callers serialize on the engine's execute
+        lock (planner hints and cluster-stage accounting are per-engine
+        mutable state).  The returned result's metrics are the delta this
+        query accumulated, so queries sharing one long-lived cluster report
+        independent per-query numbers while the cluster's own collector
+        keeps whole-job totals.
+        """
         dag = as_dag(query)
         dag.validate_inputs(inputs.keys())
         self._check_bindings(dag, inputs)
         if cluster is None:
             cluster = SimulatedCluster(self.config)
+        with self._execute_lock:
+            return self._execute(dag, inputs, cluster)
+
+    def _execute(
+        self,
+        dag: DAG,
+        inputs: Mapping[str, BlockedMatrix],
+        cluster: SimulatedCluster,
+    ) -> ExecutionResult:
+        baseline = cluster.metrics.copy()
+        cluster.begin_query()
         # attach the engine's long-lived slice cache; counters are bumped per
         # execute as deltas so each run's metrics stand alone
         self.slice_cache.enabled = self.config.slice_reuse
@@ -219,7 +248,7 @@ class Engine(ABC):
         outputs = {root: self._root_value(root, env) for root in dag.roots}
         return ExecutionResult(
             outputs=outputs,
-            metrics=cluster.metrics,
+            metrics=cluster.metrics.diff_since(baseline),
             fusion_plan=fusion_plan,
             trace=cluster.trace,
         )

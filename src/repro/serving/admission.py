@@ -1,0 +1,232 @@
+"""Admission control: bounded queueing, fair scheduling, load shedding.
+
+The service never starts a query the cluster cannot hold: every submitted
+query carries a footprint estimate (:func:`estimate_query_bytes`), and the
+:class:`AdmissionController` only releases *waves* of queries whose summed
+estimates fit the service memory budget and whose count fits the configured
+``max_concurrency``.  Everything else waits in a bounded per-tenant queue:
+
+* **bounded** — once ``max_queue_depth`` queries are waiting, further
+  submits are shed with :class:`~repro.errors.ServiceOverloadedError`
+  instead of queueing unboundedly; a single query whose estimate exceeds
+  the whole budget is shed immediately (it could never start without
+  O.O.M.-ing mid-flight);
+* **priority** — within one tenant, higher-priority queries dequeue first
+  (FIFO among equals);
+* **fair** — across tenants, waves are filled by *deficit round-robin*:
+  each tenant banks ``drr_quantum_bytes`` of credit per scheduling round
+  and admits queued queries while its credit covers their estimated cost,
+  so one chatty tenant cannot starve the others no matter how fast it
+  submits;
+* **impatient** — a queued query that waits longer than the configured
+  queue timeout is failed with :class:`~repro.errors.QueryTimeoutError`
+  the next time the dispatcher looks at the queue.
+
+The controller is *not* thread-safe on its own: the owning
+:class:`~repro.serving.service.MatrixService` calls every method under its
+dispatch lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Mapping, Tuple
+
+from repro.config import ELEMENT_BYTES, ServiceConfig
+from repro.errors import ServiceOverloadedError
+
+if TYPE_CHECKING:
+    from repro.lang.dag import DAG
+    from repro.matrix.distributed import BlockedMatrix
+    from repro.serving.service import QueryTicket
+
+#: One queued item: (negated priority, admission sequence, ticket) — the
+#: heap pops the highest priority first, FIFO among equals.
+_Item = Tuple[int, int, "QueryTicket"]
+
+
+def estimate_query_bytes(
+    dag: "DAG", bound: Mapping[str, "BlockedMatrix"]
+) -> int:
+    """Upper-bound memory footprint of running *dag* on *bound* inputs.
+
+    The sum of the distinct bound input matrices' stored bytes (a matrix
+    bound under two names counts once) plus a dense upper bound for every
+    root's materialized output.  Deliberately conservative and cheap: the
+    estimate gates *admission*, the per-task ledger inside the cluster
+    still enforces ``theta_t`` exactly.
+    """
+    seen = set()
+    total = 0
+    for leaf in dag.inputs():
+        matrix = bound.get(leaf.name)
+        if matrix is None or id(matrix) in seen:
+            continue
+        seen.add(id(matrix))
+        total += matrix.nbytes
+    for root in dag.roots:
+        rows, cols = root.meta.shape
+        total += rows * cols * ELEMENT_BYTES
+    return total
+
+
+class AdmissionController:
+    """Bounded multi-tenant priority queues drained by deficit round-robin."""
+
+    def __init__(self, config: ServiceConfig, memory_budget: int):
+        if memory_budget <= 0:
+            raise ValueError("memory_budget must be positive")
+        self.config = config
+        self.memory_budget = memory_budget
+        self._queues: Dict[str, List[_Item]] = {}
+        self._deficits: Dict[str, float] = {}
+        #: Tenants with queued work, in round-robin order.
+        self._active: deque = deque()
+        self._seq = 0
+        self._depth = 0
+        self.num_shed = 0
+        self.num_expired = 0
+
+    @property
+    def depth(self) -> int:
+        """Total queued queries across all tenants."""
+        return self._depth
+
+    # -- enqueue ----------------------------------------------------------
+
+    def offer(self, ticket: "QueryTicket") -> None:
+        """Queue *ticket* or shed it (raises ServiceOverloadedError)."""
+        if ticket.cost > self.memory_budget:
+            self.num_shed += 1
+            raise ServiceOverloadedError(
+                f"query {ticket.query_id} needs an estimated {ticket.cost} "
+                f"bytes, above the service memory budget of "
+                f"{self.memory_budget} bytes — it could never be admitted"
+            )
+        if self._depth >= self.config.max_queue_depth:
+            self.num_shed += 1
+            raise ServiceOverloadedError(
+                f"admission queue is full ({self._depth} queued, "
+                f"max_queue_depth={self.config.max_queue_depth})"
+            )
+        queue = self._queues.get(ticket.tenant)
+        if queue is None:
+            queue = self._queues[ticket.tenant] = []
+        if not queue:
+            if ticket.tenant not in self._active:
+                self._active.append(ticket.tenant)
+        self._seq += 1
+        heapq.heappush(queue, (-ticket.priority, self._seq, ticket))
+        self._depth += 1
+
+    # -- dequeue ----------------------------------------------------------
+
+    def expire(self, now: float) -> List["QueryTicket"]:
+        """Remove and return every queued ticket past the queue timeout."""
+        timeout = self.config.queue_timeout_seconds
+        if timeout is None or self._depth == 0:
+            return []
+        expired: List["QueryTicket"] = []
+        for tenant in list(self._queues):
+            queue = self._queues[tenant]
+            keep = [
+                item for item in queue
+                if now - item[2].enqueued_at <= timeout
+            ]
+            if len(keep) == len(queue):
+                continue
+            expired.extend(
+                item[2] for item in queue
+                if now - item[2].enqueued_at > timeout
+            )
+            self._depth -= len(queue) - len(keep)
+            if keep:
+                heapq.heapify(keep)
+                self._queues[tenant] = keep
+            else:
+                self._retire(tenant)
+        self.num_expired += len(expired)
+        return expired
+
+    def next_wave(self) -> List["QueryTicket"]:
+        """Admit the next wave of queries under both resource constraints.
+
+        Deficit round-robin across tenants: each tenant visited in a round
+        banks one quantum of credit (capped at one quantum beyond its head
+        query, so idle tenants cannot hoard unbounded credit) and admits
+        queued queries while the credit covers their cost.  The wave stops
+        at ``max_concurrency`` queries or when the next candidate would
+        push the summed estimates past the memory budget.
+        """
+        wave: List["QueryTicket"] = []
+        wave_bytes = 0
+        quantum = self.config.drr_quantum_bytes
+        limit = self.config.max_concurrency
+        while self._active and len(wave) < limit:
+            took_any = False
+            deficit_blocked = False
+            visited = set()
+            for _ in range(len(self._active)):
+                if len(wave) >= limit or not self._active:
+                    break
+                tenant = self._active[0]
+                if tenant in visited:
+                    break
+                visited.add(tenant)
+                self._active.rotate(-1)
+                queue = self._queues[tenant]
+                head_cost = queue[0][2].cost
+                deficit = min(
+                    self._deficits.get(tenant, 0.0) + quantum,
+                    max(quantum, head_cost) + quantum,
+                )
+                while queue and len(wave) < limit:
+                    head = queue[0][2]
+                    if wave_bytes + head.cost > self.memory_budget:
+                        # memory-blocked: more credit cannot help this wave
+                        break
+                    if head.cost > deficit:
+                        deficit_blocked = True
+                        break
+                    heapq.heappop(queue)
+                    self._depth -= 1
+                    deficit -= head.cost
+                    wave.append(head)
+                    wave_bytes += head.cost
+                    took_any = True
+                if queue:
+                    self._deficits[tenant] = deficit
+                else:
+                    self._retire(tenant)
+            if not took_any:
+                if deficit_blocked and not wave:
+                    # every head is waiting on credit; credit grows each
+                    # round, so keep cycling until one is affordable
+                    continue
+                break
+        return wave
+
+    def drain(self) -> List["QueryTicket"]:
+        """Remove and return everything queued (non-draining shutdown)."""
+        leftovers: List["QueryTicket"] = []
+        for tenant in list(self._queues):
+            leftovers.extend(item[2] for item in self._queues[tenant])
+            self._retire(tenant)
+        self._depth = 0
+        return leftovers
+
+    def _retire(self, tenant: str) -> None:
+        """Forget a tenant whose queue emptied (credit does not persist)."""
+        self._queues.pop(tenant, None)
+        self._deficits.pop(tenant, None)
+        try:
+            self._active.remove(tenant)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(depth={self._depth}, "
+            f"tenants={len(self._queues)}, budget={self.memory_budget})"
+        )

@@ -1,0 +1,200 @@
+"""Service observability: per-tenant counters and latency histograms.
+
+Everything the operator of a long-lived service wants on one status page:
+how many queries each tenant submitted / was served / had shed, how deep
+the queue is, how long queries wait and run (p50/p95/p99), and how often
+the three cache layers hit.  All of it is *observability only* — nothing
+here feeds the modeled numbers, mirroring the counters convention of
+:class:`~repro.cluster.metrics.MetricsCollector`.
+
+Latencies are recorded into fixed geometric buckets (factor-2 bounds from
+~1 microsecond to ~1.1 hours), so percentile snapshots are O(1) memory,
+deterministic, and safe to take at any time; a percentile resolves to its
+bucket's upper bound clamped to the observed maximum.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict
+
+#: Geometric bucket upper bounds: 2^-20 s (~1 us) .. 2^12 s (~1.1 h).
+_BUCKET_BOUNDS = tuple(2.0 ** e for e in range(-20, 13))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with deterministic percentiles.
+
+    Not internally locked — callers (:class:`ServiceMetrics`) synchronize.
+    """
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        self._counts[bisect_left(_BUCKET_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def percentile(self, q: float) -> float:
+        """The smallest bucket bound covering fraction *q* of the samples."""
+        if self.count == 0:
+            return 0.0
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(_BUCKET_BOUNDS):
+                    return min(_BUCKET_BOUNDS[index], self.max)
+                return self.max
+        return self.max
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+@dataclass
+class TenantStats:
+    """Lifetime counters for one tenant."""
+
+    submitted: int = 0
+    served: int = 0
+    cache_hits: int = 0
+    shed: int = 0
+    timed_out: int = 0
+    failed: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "cache_hits": self.cache_hits,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "failed": self.failed,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe roll-up of everything the service observes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantStats] = {}
+        #: Wall-clock seconds queries spent waiting for admission.
+        self.queue_wait = LatencyHistogram()
+        #: Wall-clock seconds from submit to completion (queue + run).
+        self.latency = LatencyHistogram()
+        #: Completed queries (served + timed out + failed) — log cadence.
+        self.completed = 0
+
+    def _tenant(self, tenant: str) -> TenantStats:
+        stats = self._tenants.get(tenant)
+        if stats is None:
+            stats = self._tenants[tenant] = TenantStats()
+        return stats
+
+    # -- recording --------------------------------------------------------
+
+    def record_submitted(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).submitted += 1
+
+    def record_served(
+        self,
+        tenant: str,
+        from_cache: bool,
+        queue_seconds: float,
+        total_seconds: float,
+    ) -> None:
+        with self._lock:
+            stats = self._tenant(tenant)
+            stats.served += 1
+            if from_cache:
+                stats.cache_hits += 1
+            self.queue_wait.record(queue_seconds)
+            self.latency.record(total_seconds)
+            self.completed += 1
+
+    def record_shed(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).shed += 1
+
+    def record_timed_out(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).timed_out += 1
+            self.completed += 1
+
+    def record_failed(self, tenant: str) -> None:
+        with self._lock:
+            self._tenant(tenant).failed += 1
+            self.completed += 1
+
+    # -- reading ----------------------------------------------------------
+
+    def totals(self) -> Dict[str, int]:
+        """Counters summed across tenants (call under no particular lock)."""
+        with self._lock:
+            tenants = list(self._tenants.values())
+        result = {
+            "submitted": 0, "served": 0, "cache_hits": 0,
+            "shed": 0, "timed_out": 0, "failed": 0,
+        }
+        for stats in tenants:
+            for name, value in stats.snapshot().items():
+                result[name] += value
+        return result
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything observed, as one plain dict."""
+        with self._lock:
+            tenants = {
+                name: stats.snapshot()
+                for name, stats in sorted(self._tenants.items())
+            }
+            queue_wait = self.queue_wait.snapshot()
+            latency = self.latency.snapshot()
+            completed = self.completed
+        snap: Dict[str, object] = {
+            "tenants": tenants,
+            "queue_wait": queue_wait,
+            "latency": latency,
+            "completed": completed,
+        }
+        snap.update(self.totals())
+        return snap
+
+    def log_line(self, queue_depth: int, running: int) -> str:
+        """One-line service summary for the periodic log."""
+        totals = self.totals()
+        with self._lock:
+            p50 = self.latency.percentile(0.50)
+            p95 = self.latency.percentile(0.95)
+        served = totals["served"]
+        hit_rate = totals["cache_hits"] / served if served else 0.0
+        return (
+            f"serving: served={served} shed={totals['shed']} "
+            f"timed_out={totals['timed_out']} failed={totals['failed']} "
+            f"queued={queue_depth} running={running} "
+            f"p50={p50 * 1e3:.1f}ms p95={p95 * 1e3:.1f}ms "
+            f"result_cache_hit_rate={hit_rate:.2f}"
+        )

@@ -1,0 +1,146 @@
+"""Result cache: identical repeated queries are served without re-execution.
+
+Dashboards and iterative analysts re-issue the *same* query over unchanged
+inputs constantly — the cheapest execution is none at all.  A finished
+:class:`~repro.execution.ExecutionResult` is cached under a key with three
+parts:
+
+* the engine's :meth:`~repro.execution.Engine.planning_signature` — any
+  config knob that could change modeled metrics (cluster shape, bandwidths,
+  sparsity flags) makes a different key;
+* :func:`~repro.core.plan_cache.dag_fingerprint` of the query DAG — two
+  independently built but structurally identical queries share an entry;
+* the *bound-input versions*: for every input name, ``(name, id(matrix),
+  matrix.version)``.  Re-binding a name to a new matrix changes the ``id``;
+  mutating a bound matrix in place (``set_block``) bumps its ``version`` —
+  either way the key changes and a stale result can never be served.
+
+Like the slice cache, entries pin their bound matrices with strong
+references so an ``id()`` in a live key can never be recycled by the
+allocator.  Eviction is LRU, capped both in entries and in summed output
+bytes.  Blocks are immutable, so a cached result's outputs are safely
+shared across tenants.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional
+
+from repro.core.plan_cache import dag_fingerprint
+from repro.execution import ExecutionResult
+from repro.lang.dag import DAG
+from repro.matrix.distributed import BlockedMatrix
+
+
+def result_key(
+    signature: tuple, dag: DAG, bound: Mapping[str, BlockedMatrix]
+) -> Hashable:
+    """The cache key for *dag* executed over *bound* under *signature*."""
+    bindings = tuple(sorted(
+        (name, id(matrix), matrix.version) for name, matrix in bound.items()
+    ))
+    return (signature, dag_fingerprint(dag), bindings)
+
+
+@dataclass
+class _Entry:
+    result: ExecutionResult
+    #: Strong references keeping every bound matrix (and its id()) alive.
+    pins: Dict[str, BlockedMatrix]
+    nbytes: int
+
+
+class ResultCache:
+    """Thread-safe LRU of finished executions, keyed by :func:`result_key`.
+
+    ``max_entries=0`` disables the cache (every lookup misses, nothing is
+    stored) — the ``ServiceConfig(result_cache_entries=0)`` baseline mode.
+    """
+
+    def __init__(self, max_entries: int = 128, max_bytes: int = 256 << 20):
+        if max_entries < 0 or max_bytes < 0:
+            raise ValueError("result cache capacities cannot be negative")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def get(self, key: Hashable) -> Optional[ExecutionResult]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.result
+
+    def put(
+        self,
+        key: Hashable,
+        result: ExecutionResult,
+        pins: Mapping[str, BlockedMatrix],
+    ) -> None:
+        if not self.enabled:
+            return
+        nbytes = sum(m.nbytes for m in result.outputs.values())
+        if nbytes > self.max_bytes:
+            return  # one oversized result would evict everything else
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = _Entry(result, dict(pins), nbytes)
+            self._bytes += nbytes
+            while self._entries and (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._bytes
+
+    def stats(self) -> dict:
+        """Hit/miss counts and occupancy as a plain dict (for status pages)."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            entries, cached = len(self._entries), self._bytes
+        total = hits + misses
+        return {
+            "enabled": self.enabled,
+            "entries": entries,
+            "bytes": cached,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(entries={self.num_entries}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,434 @@
+"""The multi-tenant query service front end.
+
+A :class:`MatrixService` turns one engine + one
+:class:`~repro.cluster.executor.SimulatedCluster` into a long-lived service
+that many tenants share::
+
+    submit ──► result-cache probe ──► per-tenant admission queues
+                                            │  dispatcher thread
+                                            ▼
+                    wave = next_wave()        (deficit round-robin;
+                                               <= max_concurrency queries,
+                                               sum(cost) <= memory budget)
+                    parallel_map(run, wave)   (repro.cluster.parallel)
+                                            │  engine execute lock
+                                            ▼
+                    shared engine + cluster + plan/slice/result caches
+
+**Determinism.**  Queries in a wave are *drained* by the thread pool, but
+cluster-stage accounting is serialized by the engine's execute lock, each
+query's result carries only the metrics delta it accumulated, and the
+per-slot runtime is stateless across stages — so a fixed workload replayed
+through the service produces bit-identical outputs and identical modeled
+per-query seconds/bytes to running every query standalone through
+``engine.execute()``.  Only wall-clock timing and observability counters
+depend on scheduling.
+
+**Robustness.**  Admission control (see :mod:`repro.serving.admission`)
+guarantees a query never starts unless its estimated footprint fits the
+service memory budget alongside the rest of its wave: over-budget queries
+wait in a bounded queue or are shed with
+:class:`~repro.errors.ServiceOverloadedError` — they never start and
+O.O.M. mid-flight.  Queued queries expire with
+:class:`~repro.errors.QueryTimeoutError` after the configured wait.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.cluster.executor import SimulatedCluster
+from repro.cluster.parallel import parallel_map
+from repro.config import ServiceConfig
+from repro.core import FuseMEEngine
+from repro.errors import (
+    QueryTimeoutError,
+    ServingError,
+    ServiceOverloadedError,
+    SessionClosedError,
+)
+from repro.execution import Engine, ExecutionResult, Query, as_dag
+from repro.matrix.distributed import BlockedMatrix
+from repro.serving.admission import AdmissionController, estimate_query_bytes
+from repro.serving.metrics import ServiceMetrics
+from repro.serving.result_cache import ResultCache, result_key
+from repro.serving.session import Session
+
+logger = logging.getLogger("repro.serving")
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """What a finished query hands back to its tenant."""
+
+    query_id: str
+    tenant: str
+    #: The underlying execution (or the cached one, on a result-cache hit).
+    result: ExecutionResult
+    #: True when the result cache answered without re-execution.
+    from_cache: bool
+    #: Wall-clock seconds spent queued before execution started.
+    queue_seconds: float
+    #: Wall-clock seconds from submission to completion.
+    service_seconds: float
+
+    def output(self, index: int = 0) -> BlockedMatrix:
+        return self.result.output(index)
+
+    @property
+    def outputs(self):
+        return self.result.outputs
+
+    @property
+    def metrics(self):
+        """This query's own modeled metrics delta."""
+        return self.result.metrics
+
+
+class QueryTicket:
+    """Future-like handle for one submitted query."""
+
+    def __init__(
+        self,
+        query_id: str,
+        tenant: str,
+        dag,
+        bound: Dict[str, BlockedMatrix],
+        cost: int,
+        priority: int,
+    ):
+        self.query_id = query_id
+        self.tenant = tenant
+        self.dag = dag
+        self.bound = bound
+        #: Estimated footprint in bytes (the admission currency).
+        self.cost = cost
+        self.priority = priority
+        self.enqueued_at = time.monotonic()
+        self._event = threading.Event()
+        self._value: Optional[ServedResult] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServedResult:
+        """Block until the query finishes; re-raises its failure if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query_id} did not complete within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The query's failure (None if it succeeded); blocks like result()."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query_id} did not complete within {timeout}s"
+            )
+        return self._error
+
+    def _resolve(self, value: ServedResult) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return (
+            f"QueryTicket(id={self.query_id!r}, tenant={self.tenant!r}, "
+            f"cost={self.cost}, priority={self.priority}, {state})"
+        )
+
+
+class MatrixService:
+    """Long-lived, multi-tenant matrix query service over one engine.
+
+    Usage::
+
+        with MatrixService(FuseMEEngine(config)) as service:
+            alice = service.open_session("alice").bind("X", x_matrix)
+            result = alice.execute(query)        # submit + wait
+            ticket = alice.submit(other_query)   # async
+            ...
+            print(service.status())
+
+    The service owns one :class:`SimulatedCluster` (whole-job totals keep
+    accumulating on it) and shares the engine's plan cache and slice cache
+    across every tenant; the result cache is the service's own.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[Engine] = None,
+        config: Optional[ServiceConfig] = None,
+        cluster: Optional[SimulatedCluster] = None,
+    ):
+        self.engine = engine if engine is not None else FuseMEEngine()
+        self.config = config or ServiceConfig()
+        self.cluster = cluster or SimulatedCluster(self.engine.config)
+        budget = self.config.memory_budget_bytes
+        if budget is None:
+            budget = self.engine.config.cluster.total_memory_budget
+        self.metrics = ServiceMetrics()
+        self.result_cache = ResultCache(
+            self.config.result_cache_entries, self.config.result_cache_bytes
+        )
+        self._admission = AdmissionController(self.config, budget)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._sessions: Dict[str, Session] = {}
+        self._session_seq = itertools.count(1)
+        self._query_seq = itertools.count(1)
+        self._running = 0
+        self._closed = False
+        self._last_logged = 0
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serving-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- sessions ---------------------------------------------------------
+
+    def open_session(self, tenant: str) -> Session:
+        """A new session for *tenant* (fair-share groups by tenant name)."""
+        with self._lock:
+            if self._closed:
+                raise ServingError("service is closed")
+            session_id = f"{tenant}/s{next(self._session_seq)}"
+            session = Session(self, tenant, session_id)
+            self._sessions[session_id] = session
+            return session
+
+    def _forget_session(self, session: Session) -> None:
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self,
+        session: Session,
+        query: Query,
+        inputs: Optional[Mapping[str, BlockedMatrix]] = None,
+        priority: int = 0,
+    ) -> QueryTicket:
+        """Queue *query* for *session*; returns immediately with a ticket.
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` (load shed)
+        when the admission queue is full or the query could never fit the
+        memory budget, and propagates binding errors eagerly so a doomed
+        query never occupies queue space.
+        """
+        if session.closed:
+            raise SessionClosedError(f"session {session.session_id} is closed")
+        dag = as_dag(query)
+        bound = session.resolve_inputs(inputs)
+        dag.validate_inputs(bound.keys())
+        tenant = session.tenant
+        query_id = f"{tenant}/q{next(self._query_seq)}"
+        cost = estimate_query_bytes(dag, bound)
+        ticket = QueryTicket(query_id, tenant, dag, bound, cost, priority)
+        self.metrics.record_submitted(tenant)
+
+        cached = self.result_cache.get(
+            result_key(self.engine.planning_signature(), dag, bound)
+        )
+        if cached is not None:
+            served = ServedResult(
+                query_id=query_id,
+                tenant=tenant,
+                result=cached,
+                from_cache=True,
+                queue_seconds=0.0,
+                service_seconds=time.monotonic() - ticket.enqueued_at,
+            )
+            self.metrics.record_served(
+                tenant, from_cache=True,
+                queue_seconds=0.0, total_seconds=served.service_seconds,
+            )
+            ticket._resolve(served)
+            self._maybe_log()
+            return ticket
+
+        with self._cond:
+            if self._closed:
+                raise ServingError("service is closed")
+            try:
+                self._admission.offer(ticket)
+            except ServiceOverloadedError:
+                self.metrics.record_shed(tenant)
+                raise
+            self._cond.notify_all()
+        return ticket
+
+    def execute(
+        self,
+        session: Session,
+        query: Query,
+        inputs: Optional[Mapping[str, BlockedMatrix]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> ServedResult:
+        """Submit and block until the result is available."""
+        return self.submit(session, query, inputs, priority).result(timeout)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        poll = self.config.dispatch_poll_seconds
+        while True:
+            with self._cond:
+                while not self._closed and self._admission.depth == 0:
+                    self._cond.wait(poll)
+                expired = self._admission.expire(time.monotonic())
+                wave = self._admission.next_wave()
+                if (
+                    self._closed
+                    and not wave
+                    and not expired
+                    and self._admission.depth == 0
+                ):
+                    return
+                self._running += len(wave)
+            for ticket in expired:
+                self._expire_ticket(ticket)
+            if wave:
+                # the wave drains on the same thread-pool path queries use
+                # for intra-query parallelism; the engine's execute lock
+                # serializes cluster-stage accounting inside
+                parallel_map(self._run_one, wave, self.config.max_concurrency)
+
+    def _run_one(self, ticket: QueryTicket) -> None:
+        started = time.monotonic()
+        queue_seconds = started - ticket.enqueued_at
+        try:
+            # recompute the key: a set_block between submit and execution
+            # bumped the version, and the fresh result must be stored under
+            # the content actually read
+            key = result_key(
+                self.engine.planning_signature(), ticket.dag, ticket.bound
+            )
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                result, from_cache = cached, True
+            else:
+                result = self.engine.execute(
+                    ticket.dag, ticket.bound, cluster=self.cluster
+                )
+                self.result_cache.put(key, result, pins=ticket.bound)
+                from_cache = False
+            total = time.monotonic() - ticket.enqueued_at
+            served = ServedResult(
+                query_id=ticket.query_id,
+                tenant=ticket.tenant,
+                result=result,
+                from_cache=from_cache,
+                queue_seconds=queue_seconds,
+                service_seconds=total,
+            )
+            self.metrics.record_served(
+                ticket.tenant, from_cache,
+                queue_seconds=queue_seconds, total_seconds=total,
+            )
+            ticket._resolve(served)
+        except Exception as exc:  # noqa: BLE001 - failures belong to the ticket
+            self.metrics.record_failed(ticket.tenant)
+            ticket._fail(exc)
+        finally:
+            with self._cond:
+                self._running -= 1
+                self._cond.notify_all()
+            self._maybe_log()
+
+    def _expire_ticket(self, ticket: QueryTicket) -> None:
+        waited = time.monotonic() - ticket.enqueued_at
+        self.metrics.record_timed_out(ticket.tenant)
+        ticket._fail(QueryTimeoutError(
+            ticket.query_id, waited, self.config.queue_timeout_seconds
+        ))
+        self._maybe_log()
+
+    # -- observability ----------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """Everything observable about the service, as one plain dict."""
+        with self._lock:
+            queue_depth = self._admission.depth
+            running = self._running
+            sessions = len(self._sessions)
+            closed = self._closed
+            memory_budget = self._admission.memory_budget
+        snap = self.metrics.snapshot()
+        snap.update(
+            closed=closed,
+            queue_depth=queue_depth,
+            running=running,
+            sessions=sessions,
+            memory_budget_bytes=memory_budget,
+            result_cache=self.result_cache.stats(),
+            plan_cache=self.engine.plan_cache.stats(),
+            slice_cache=self.engine.slice_cache.stats(),
+            cluster=self.cluster.metrics.snapshot(),
+        )
+        return snap
+
+    def _maybe_log(self) -> None:
+        every = self.config.log_every
+        if not every:
+            return
+        with self._lock:
+            completed = self.metrics.completed
+            if completed < self._last_logged + every:
+                return
+            self._last_logged = completed
+            queue_depth = self._admission.depth
+            running = self._running
+        logger.info("%s", self.metrics.log_line(queue_depth, running))
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting queries and shut the dispatcher down.
+
+        ``drain=True`` (default) lets already-queued queries finish;
+        ``drain=False`` fails them with ServiceOverloadedError.
+        """
+        with self._cond:
+            self._closed = True
+            leftovers = [] if drain else self._admission.drain()
+            self._cond.notify_all()
+        for ticket in leftovers:
+            self.metrics.record_shed(ticket.tenant)
+            ticket._fail(ServiceOverloadedError(
+                f"query {ticket.query_id} dropped: service shutting down"
+            ))
+        self._dispatcher.join(timeout)
+
+    def __enter__(self) -> "MatrixService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"MatrixService(engine={self.engine.name!r}, "
+            f"queue_depth={self._admission.depth}, running={self._running}, "
+            f"closed={self._closed})"
+        )

@@ -58,22 +58,46 @@ class TestBookkeeping:
         m.reset()
         assert m.num_stages == 0
 
-    def test_snapshot_is_independent(self):
+    def test_copy_is_independent(self):
         m = MetricsCollector()
         m.record(record())
-        snap = m.snapshot()
+        baseline = m.copy()
         m.record(record())
-        assert snap.num_stages == 1
+        assert baseline.num_stages == 1
         assert m.num_stages == 2
 
     def test_diff_since(self):
         m = MetricsCollector()
         m.record(record(consolidation=100))
-        snap = m.snapshot()
+        baseline = m.copy()
         m.record(record(consolidation=999))
-        diff = m.diff_since(snap)
+        diff = m.diff_since(baseline)
         assert diff.num_stages == 1
         assert diff.consolidation_bytes == 999
+
+    def test_diff_since_counter_deltas(self):
+        m = MetricsCollector()
+        m.bump("plan_cache_hits")
+        baseline = m.copy()
+        m.bump("plan_cache_hits", 2)
+        m.bump("pool_tasks", 5)
+        diff = m.diff_since(baseline)
+        assert diff.counters == {"plan_cache_hits": 2, "pool_tasks": 5}
+
+    def test_snapshot_is_a_plain_dict(self):
+        """snapshot() embeds totals + counters without private fields."""
+        m = MetricsCollector()
+        m.record(record(consolidation=100, tasks=3))
+        m.bump("plan_cache_hits")
+        m.bump_max("pool_width_max", 4)
+        snap = m.snapshot()
+        assert isinstance(snap, dict)
+        assert snap["num_stages"] == 1
+        assert snap["consolidation_bytes"] == 100
+        assert snap["counters"] == {"plan_cache_hits": 1, "pool_width_max": 4}
+        # detached from the collector: later recording does not mutate it
+        m.record(record())
+        assert snap["num_stages"] == 1
 
     def test_iteration(self):
         m = MetricsCollector()

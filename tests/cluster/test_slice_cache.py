@@ -1,0 +1,121 @@
+"""SliceCache: sharing, version invalidation, eviction, correctness."""
+
+import numpy as np
+
+from repro import FuseMEEngine
+from repro.blocks.block import Block
+from repro.cluster.slice_cache import SliceCache
+from repro.lang import matrix_input
+from repro.matrix import rand_dense
+
+from tests.conftest import make_config
+
+BS = 25
+
+
+def matrix(seed=1, n=100):
+    return rand_dense(n, n, BS, seed=seed)
+
+
+class TestSharing:
+    def test_same_range_is_materialized_once(self):
+        cache = SliceCache()
+        m = matrix()
+        first = cache.get(m, (0, 2), (0, 2))
+        second = cache.get(m, (0, 2), (0, 2))
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_ranges_are_distinct_entries(self):
+        cache = SliceCache()
+        m = matrix()
+        a = cache.get(m, (0, 2), (0, 2))
+        b = cache.get(m, (2, 4), (0, 2))
+        assert a is not b
+        assert cache.num_entries == 2
+
+    def test_slab_content_matches_direct_materialization(self):
+        cache = SliceCache()
+        m = matrix()
+        slab = cache.get(m, (1, 3), (0, 4))
+        direct = m.block_slice((1, 3), (0, 4)).as_single_block()
+        assert np.array_equal(slab.to_numpy(), direct.to_numpy())
+
+
+class TestVersionInvalidation:
+    def test_set_block_invalidates_cached_slabs(self):
+        """Mutating a matrix must never serve the stale materialization."""
+        cache = SliceCache()
+        m = matrix()
+        stale = cache.get(m, (0, 2), (0, 2))
+
+        m.set_block(0, 0, Block(np.full((BS, BS), 9.0)))
+
+        fresh = cache.get(m, (0, 2), (0, 2))
+        assert fresh is not stale
+        assert cache.hits == 0 and cache.misses == 2
+        assert fresh.to_numpy()[0, 0] == 9.0
+        assert stale.to_numpy()[0, 0] != 9.0  # old slab untouched
+
+    def test_unmutated_version_still_hits(self):
+        cache = SliceCache()
+        m = matrix()
+        version = m.version
+        cache.get(m, (0, 2), (0, 2))
+        cache.get(m, (0, 2), (0, 2))
+        assert m.version == version
+        assert cache.hits == 1
+
+    def test_engine_level_regression(self):
+        """set_block between executes flows through to fresh results."""
+        engine = FuseMEEngine(make_config())
+        m = matrix(n=50)
+        query = matrix_input("X", 50, 50, BS) * 1.0
+        before = engine.execute(query, {"X": m}).output(0).to_numpy()
+        m.set_block(0, 0, Block(np.full((BS, BS), 3.5)))
+        after = engine.execute(query, {"X": m}).output(0).to_numpy()
+        assert not np.array_equal(before, after)
+        assert np.all(after[:BS, :BS] == 3.5)
+
+
+class TestDisabledAndEviction:
+    def test_disabled_cache_always_copies(self):
+        cache = SliceCache(enabled=False)
+        m = matrix()
+        a = cache.get(m, (0, 2), (0, 2))
+        b = cache.get(m, (0, 2), (0, 2))
+        assert a is not b
+        assert cache.num_entries == 0
+        assert np.array_equal(a.to_numpy(), b.to_numpy())
+
+    def test_lru_eviction_respects_max_bytes(self):
+        m = matrix()
+        slab_bytes = m.block_slice((0, 1), (0, 1)).as_single_block().nbytes
+        cache = SliceCache(max_bytes=2 * slab_bytes)
+        cache.get(m, (0, 1), (0, 1))
+        cache.get(m, (1, 2), (0, 1))
+        cache.get(m, (2, 3), (0, 1))  # evicts the (0,1) entry
+        assert cache.num_entries == 2
+        assert cache.cached_bytes <= 2 * slab_bytes
+        cache.get(m, (0, 1), (0, 1))
+        assert cache.misses == 4  # re-materialized after eviction
+
+    def test_reset_clears_entries_and_counters(self):
+        cache = SliceCache()
+        cache.get(matrix(), (0, 1), (0, 1))
+        cache.reset()
+        assert cache.num_entries == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.cached_bytes == 0
+
+    def test_stats_dict(self):
+        cache = SliceCache()
+        m = matrix()
+        cache.get(m, (0, 1), (0, 1))
+        cache.get(m, (0, 1), (0, 1))
+        stats = cache.stats()
+        assert stats["enabled"] is True
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["bytes"] == cache.cached_bytes

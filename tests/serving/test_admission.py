@@ -1,0 +1,161 @@
+"""Admission control: bounded queues, DRR fairness, shedding, timeouts."""
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.errors import ServiceOverloadedError
+from repro.lang import matrix_input, sum_of, sq
+from repro.matrix import rand_dense
+from repro.execution import as_dag
+from repro.serving.admission import AdmissionController, estimate_query_bytes
+
+
+class FakeTicket:
+    """The minimum surface AdmissionController needs from a ticket."""
+
+    def __init__(self, tenant, cost, priority=0, enqueued_at=0.0, query_id="q"):
+        self.tenant = tenant
+        self.cost = cost
+        self.priority = priority
+        self.enqueued_at = enqueued_at
+        self.query_id = query_id
+
+
+def controller(budget=1000, **options):
+    defaults = dict(
+        max_concurrency=8,
+        max_queue_depth=16,
+        drr_quantum_bytes=10,
+        queue_timeout_seconds=1.0,
+    )
+    defaults.update(options)
+    return AdmissionController(ServiceConfig(**defaults), budget)
+
+
+class TestEstimate:
+    def test_counts_inputs_and_dense_outputs(self):
+        x = matrix_input("X", 100, 50, 25)
+        dag = as_dag(x * 2.0)
+        matrix = rand_dense(100, 50, 25, seed=1)
+        estimate = estimate_query_bytes(dag, {"X": matrix})
+        assert estimate == matrix.nbytes + 100 * 50 * 8
+
+    def test_shared_matrix_counted_once(self):
+        x = matrix_input("X", 50, 50, 25)
+        y = matrix_input("Y", 50, 50, 25)
+        dag = as_dag(x + y)
+        matrix = rand_dense(50, 50, 25, seed=2)
+        both = estimate_query_bytes(dag, {"X": matrix, "Y": matrix})
+        assert both == matrix.nbytes + 50 * 50 * 8
+
+    def test_aggregation_output_is_cheap(self):
+        x = matrix_input("X", 100, 100, 25)
+        dag = as_dag(sum_of(sq(x)))
+        matrix = rand_dense(100, 100, 25, seed=3)
+        estimate = estimate_query_bytes(dag, {"X": matrix})
+        # the scalar root adds 8 bytes, not a full dense matrix
+        assert estimate == matrix.nbytes + 8
+
+
+class TestShedding:
+    def test_query_over_budget_is_shed_immediately(self):
+        c = controller(budget=100)
+        with pytest.raises(ServiceOverloadedError, match="memory budget"):
+            c.offer(FakeTicket("a", cost=101))
+        assert c.depth == 0
+        assert c.num_shed == 1
+
+    def test_full_queue_sheds(self):
+        c = controller(max_queue_depth=2)
+        c.offer(FakeTicket("a", 10))
+        c.offer(FakeTicket("a", 10))
+        with pytest.raises(ServiceOverloadedError, match="queue is full"):
+            c.offer(FakeTicket("b", 10))
+        assert c.depth == 2
+
+    def test_query_exactly_at_budget_is_queued(self):
+        c = controller(budget=100)
+        c.offer(FakeTicket("a", 100))
+        assert c.depth == 1
+
+
+class TestWaves:
+    def test_respects_max_concurrency(self):
+        c = controller(max_concurrency=3)
+        for i in range(5):
+            c.offer(FakeTicket("a", 10, query_id=f"q{i}"))
+        wave = c.next_wave()
+        assert len(wave) == 3
+        assert c.depth == 2
+
+    def test_memory_budget_bounds_a_wave(self):
+        """Two queries that fit alone but not together run in two waves."""
+        c = controller(budget=100)
+        c.offer(FakeTicket("a", 60, query_id="q1"))
+        c.offer(FakeTicket("a", 60, query_id="q2"))
+        first = c.next_wave()
+        assert [t.query_id for t in first] == ["q1"]
+        second = c.next_wave()
+        assert [t.query_id for t in second] == ["q2"]
+
+    def test_deficit_round_robin_interleaves_tenants(self):
+        """A tenant that submitted first cannot monopolize the wave."""
+        c = controller(drr_quantum_bytes=10)
+        for i in range(4):
+            c.offer(FakeTicket("alice", 10, query_id=f"a{i}"))
+        for i in range(4):
+            c.offer(FakeTicket("bob", 10, query_id=f"b{i}"))
+        wave = c.next_wave()
+        tenants = [t.tenant for t in wave]
+        assert tenants == ["alice", "bob"] * 4
+
+    def test_large_query_accumulates_credit(self):
+        """A query costing many quanta is admitted after banking credit,
+        not starved forever."""
+        c = controller(budget=1000, drr_quantum_bytes=10)
+        c.offer(FakeTicket("a", 95, query_id="big"))
+        wave = c.next_wave()
+        assert [t.query_id for t in wave] == ["big"]
+
+    def test_priority_within_tenant(self):
+        c = controller(max_concurrency=3)
+        c.offer(FakeTicket("a", 10, priority=0, query_id="low"))
+        c.offer(FakeTicket("a", 10, priority=5, query_id="high"))
+        c.offer(FakeTicket("a", 10, priority=1, query_id="mid"))
+        wave = c.next_wave()
+        assert [t.query_id for t in wave] == ["high", "mid", "low"]
+
+    def test_fifo_among_equal_priorities(self):
+        c = controller(max_concurrency=2)
+        c.offer(FakeTicket("a", 10, query_id="first"))
+        c.offer(FakeTicket("a", 10, query_id="second"))
+        assert [t.query_id for t in c.next_wave()] == ["first", "second"]
+
+    def test_empty_controller_yields_empty_wave(self):
+        assert controller().next_wave() == []
+
+
+class TestExpiry:
+    def test_expired_tickets_are_removed(self):
+        c = controller(queue_timeout_seconds=1.0)
+        c.offer(FakeTicket("a", 10, enqueued_at=0.0, query_id="old"))
+        c.offer(FakeTicket("a", 10, enqueued_at=5.0, query_id="fresh"))
+        expired = c.expire(now=4.0)
+        assert [t.query_id for t in expired] == ["old"]
+        assert c.depth == 1
+        assert c.num_expired == 1
+        assert [t.query_id for t in c.next_wave()] == ["fresh"]
+
+    def test_no_timeout_configured(self):
+        c = controller(queue_timeout_seconds=None)
+        c.offer(FakeTicket("a", 10, enqueued_at=0.0))
+        assert c.expire(now=1e9) == []
+        assert c.depth == 1
+
+    def test_drain_empties_everything(self):
+        c = controller()
+        c.offer(FakeTicket("a", 10))
+        c.offer(FakeTicket("b", 10))
+        assert len(c.drain()) == 2
+        assert c.depth == 0
+        assert c.next_wave() == []

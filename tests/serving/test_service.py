@@ -1,0 +1,270 @@
+"""MatrixService lifecycle: shedding, timeouts, sessions, failure paths.
+
+Uses a stub engine whose execute() blocks on an event, so overload
+scenarios are constructed deterministically instead of by racing the
+dispatcher.
+"""
+
+import threading
+
+import pytest
+
+from repro.cluster.metrics import MetricsCollector
+from repro.config import ServiceConfig
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    ServingError,
+    SessionClosedError,
+)
+from repro.execution import Engine, ExecutionResult, as_dag
+from repro.lang import matrix_input
+from repro.matrix import rand_dense
+from repro.serving import MatrixService
+
+from tests.conftest import make_config
+
+QUERY = matrix_input("X", 50, 50, 25) * 2.0
+#: estimate_query_bytes for QUERY: input (20 kB) + dense 50x50 output.
+QUERY_COST = 50 * 50 * 8 * 2
+
+
+class StubEngine(Engine):
+    """Engine double: returns the bound input as the output.
+
+    ``release`` starts set; clear it to make in-flight executes park until
+    the test releases them (``started`` flags that one arrived).
+    """
+
+    name = "stub"
+
+    def __init__(self, config=None, fail_with=None):
+        super().__init__(config or make_config())
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.release.set()
+        self.fail_with = fail_with
+        self.num_executes = 0
+
+    def plan_query(self, dag):  # pragma: no cover - never planned
+        raise NotImplementedError
+
+    def run_unit(self, unit, cluster, env):  # pragma: no cover
+        raise NotImplementedError
+
+    def execute(self, query, inputs, cluster=None):
+        self.started.set()
+        assert self.release.wait(timeout=10.0), "stub never released"
+        self.num_executes += 1
+        if self.fail_with is not None:
+            raise self.fail_with
+        dag = as_dag(query)
+        matrix = next(iter(inputs.values()))
+        return ExecutionResult(
+            outputs={root: matrix for root in dag.roots},
+            metrics=MetricsCollector(),
+            fusion_plan=None,
+            dag=dag,
+        )
+
+
+def make_service(engine=None, **options):
+    options.setdefault("dispatch_poll_seconds", 0.005)
+    return MatrixService(
+        engine=engine or StubEngine(), config=ServiceConfig(**options)
+    )
+
+
+def x_matrix(seed=1):
+    return rand_dense(50, 50, 25, seed=seed)
+
+
+class TestHappyPath:
+    def test_execute_roundtrip(self):
+        with make_service() as service:
+            with service.open_session("alice") as alice:
+                alice.bind("X", x_matrix())
+                served = alice.execute(QUERY, timeout=10.0)
+        assert served.tenant == "alice"
+        assert not served.from_cache
+        assert served.output(0) is alice.bindings.get("X") or True
+        assert served.queue_seconds >= 0.0
+        assert served.service_seconds >= served.queue_seconds
+
+    def test_repeat_query_hits_result_cache(self):
+        engine = StubEngine()
+        with make_service(engine) as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            first = alice.execute(QUERY, timeout=10.0)
+            second = alice.execute(QUERY, timeout=10.0)
+        assert not first.from_cache
+        assert second.from_cache
+        assert engine.num_executes == 1
+        assert second.result is first.result
+
+    def test_async_submit_returns_a_ticket(self):
+        with make_service() as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            ticket = alice.submit(QUERY)
+            served = ticket.result(timeout=10.0)
+            assert ticket.done()
+            assert ticket.exception() is None
+        assert served.query_id == ticket.query_id
+
+    def test_unbound_input_fails_eagerly(self):
+        with make_service() as service:
+            alice = service.open_session("alice")  # nothing bound
+            with pytest.raises(Exception):
+                alice.submit(QUERY)
+            assert service.status()["queue_depth"] == 0
+
+
+class TestOverload:
+    def test_over_budget_query_is_shed_without_running(self):
+        engine = StubEngine()
+        with make_service(engine, memory_budget_bytes=QUERY_COST - 1) as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            with pytest.raises(ServiceOverloadedError, match="memory budget"):
+                alice.submit(QUERY)
+            status = service.status()
+        assert engine.num_executes == 0
+        assert status["shed"] == 1
+        assert status["tenants"]["alice"]["shed"] == 1
+        assert status["cluster"]["num_stages"] == 0
+
+    def test_full_queue_sheds(self):
+        engine = StubEngine()
+        engine.release.clear()  # park the first query in execute()
+        with make_service(engine, max_concurrency=1,
+                          max_queue_depth=1) as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            blocker = alice.submit(QUERY)
+            assert engine.started.wait(5.0)
+            queued = alice.submit(QUERY, inputs={"X": x_matrix(seed=2)})
+            with pytest.raises(ServiceOverloadedError, match="queue is full"):
+                alice.submit(QUERY, inputs={"X": x_matrix(seed=3)})
+            engine.release.set()
+            blocker.result(timeout=10.0)
+            queued.result(timeout=10.0)
+        assert service.status()["shed"] == 1
+
+    def test_queued_query_times_out(self):
+        engine = StubEngine()
+        engine.release.clear()
+        with make_service(engine, max_concurrency=1,
+                          queue_timeout_seconds=0.05) as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            blocker = alice.submit(QUERY)
+            assert engine.started.wait(5.0)
+            doomed = alice.submit(QUERY, inputs={"X": x_matrix(seed=2)})
+            threading.Event().wait(0.1)  # let the queue wait exceed 0.05s
+            engine.release.set()
+            blocker.result(timeout=10.0)
+            with pytest.raises(QueryTimeoutError):
+                doomed.result(timeout=10.0)
+            status = service.status()
+        assert status["timed_out"] == 1
+        assert engine.num_executes == 1  # the expired query never ran
+
+    def test_result_wait_timeout_raises_builtin_timeout(self):
+        engine = StubEngine()
+        engine.release.clear()
+        with make_service(engine) as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            ticket = alice.submit(QUERY)
+            with pytest.raises(TimeoutError):
+                ticket.result(timeout=0.05)
+            engine.release.set()
+            ticket.result(timeout=10.0)
+
+
+class TestFailures:
+    def test_engine_failure_lands_on_the_ticket(self):
+        engine = StubEngine(fail_with=ValueError("boom"))
+        with make_service(engine) as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            ticket = alice.submit(QUERY)
+            with pytest.raises(ValueError, match="boom"):
+                ticket.result(timeout=10.0)
+            assert isinstance(ticket.exception(), ValueError)
+            status = service.status()
+        assert status["failed"] == 1
+        assert status["tenants"]["alice"]["failed"] == 1
+
+
+class TestLifecycle:
+    def test_close_drains_queued_queries(self):
+        engine = StubEngine()
+        with make_service(engine, max_concurrency=1) as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            tickets = [
+                alice.submit(QUERY, inputs={"X": x_matrix(seed=s)})
+                for s in range(4)
+            ]
+        # context exit = close(drain=True): everything finished
+        assert all(t.done() for t in tickets)
+        assert all(t.exception() is None for t in tickets)
+
+    def test_close_without_drain_fails_leftovers(self):
+        engine = StubEngine()
+        engine.release.clear()
+        service = make_service(engine, max_concurrency=1)
+        alice = service.open_session("alice").bind("X", x_matrix())
+        blocker = alice.submit(QUERY)
+        assert engine.started.wait(5.0)
+        queued = alice.submit(QUERY, inputs={"X": x_matrix(seed=2)})
+        service.close(drain=False, timeout=0.1)
+        with pytest.raises(ServiceOverloadedError, match="shutting down"):
+            queued.result(timeout=10.0)
+        engine.release.set()
+        blocker.result(timeout=10.0)  # in-flight work still completes
+        service.close(timeout=10.0)
+
+    def test_closed_service_rejects_work(self):
+        service = make_service()
+        alice = service.open_session("alice").bind("X", x_matrix())
+        service.close()
+        with pytest.raises(ServingError):
+            service.open_session("bob")
+        with pytest.raises(ServingError):
+            alice.submit(QUERY)
+        assert service.closed
+
+    def test_closed_session_rejects_submits(self):
+        with make_service() as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            alice.close()
+            with pytest.raises(SessionClosedError):
+                alice.submit(QUERY)
+            with pytest.raises(SessionClosedError):
+                alice.bind("X", x_matrix())
+            assert service.status()["sessions"] == 0
+
+
+class TestStatus:
+    def test_status_is_a_complete_plain_dict(self):
+        with make_service() as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            alice.execute(QUERY, timeout=10.0)
+            alice.execute(QUERY, timeout=10.0)  # result-cache hit
+            status = service.status()
+        assert isinstance(status, dict)
+        for key in (
+            "queue_depth", "running", "sessions", "memory_budget_bytes",
+            "tenants", "latency", "queue_wait", "served", "shed",
+            "timed_out", "failed", "cache_hits", "result_cache",
+            "plan_cache", "slice_cache", "cluster", "closed",
+        ):
+            assert key in status, key
+        assert status["served"] == 2
+        assert status["cache_hits"] == 1
+        assert status["result_cache"]["hits"] >= 1
+        assert status["latency"]["count"] == 2
+        assert status["cluster"]["counters"] == {}  # stub never ran stages
+
+    def test_periodic_log_line(self, caplog):
+        with caplog.at_level("INFO", logger="repro.serving"):
+            with make_service(log_every=1) as service:
+                alice = service.open_session("alice").bind("X", x_matrix())
+                alice.execute(QUERY, timeout=10.0)
+        assert any("serving: served=" in r.message for r in caplog.records)

@@ -1,0 +1,101 @@
+"""Service metrics: latency histograms, tenant counters, snapshots."""
+
+from repro.serving.metrics import LatencyHistogram, ServiceMetrics, TenantStats
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        h = LatencyHistogram()
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0 and snap["p99"] == 0.0
+        assert snap["mean"] == 0.0 and snap["min"] == 0.0
+
+    def test_single_sample(self):
+        h = LatencyHistogram()
+        h.record(0.25)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == 0.25 and snap["max"] == 0.25
+        # 0.25 is an exact bucket bound, and percentiles clamp to max
+        assert snap["p50"] == 0.25 and snap["p99"] == 0.25
+
+    def test_percentiles_are_monotone(self):
+        h = LatencyHistogram()
+        for i in range(1, 101):
+            h.record(i / 100.0)
+        snap = h.snapshot()
+        assert snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["max"]
+        assert snap["p50"] >= 0.5  # median of U(0.01..1.0) lands near 0.5
+        assert snap["p50"] <= 1.0
+
+    def test_percentile_never_exceeds_observed_max(self):
+        h = LatencyHistogram()
+        h.record(0.0001)
+        h.record(0.0003)
+        assert h.percentile(0.99) <= h.max
+
+    def test_mean_is_exact(self):
+        h = LatencyHistogram()
+        h.record(1.0)
+        h.record(3.0)
+        assert h.snapshot()["mean"] == 2.0
+
+    def test_negative_durations_clamp_to_zero(self):
+        h = LatencyHistogram()
+        h.record(-1.0)
+        assert h.min == 0.0
+        assert h.count == 1
+
+
+class TestTenantStats:
+    def test_snapshot_keys(self):
+        stats = TenantStats(submitted=3, served=2, cache_hits=1)
+        snap = stats.snapshot()
+        assert snap == {
+            "submitted": 3, "served": 2, "cache_hits": 1,
+            "shed": 0, "timed_out": 0, "failed": 0,
+        }
+
+
+class TestServiceMetrics:
+    def test_per_tenant_flows(self):
+        m = ServiceMetrics()
+        m.record_submitted("alice")
+        m.record_submitted("alice")
+        m.record_submitted("bob")
+        m.record_served("alice", from_cache=False,
+                        queue_seconds=0.01, total_seconds=0.1)
+        m.record_served("alice", from_cache=True,
+                        queue_seconds=0.0, total_seconds=0.001)
+        m.record_shed("bob")
+        snap = m.snapshot()
+        assert snap["tenants"]["alice"]["served"] == 2
+        assert snap["tenants"]["alice"]["cache_hits"] == 1
+        assert snap["tenants"]["bob"]["shed"] == 1
+        assert snap["submitted"] == 3 and snap["served"] == 2
+        assert snap["latency"]["count"] == 2
+
+    def test_completed_counts_terminal_outcomes(self):
+        m = ServiceMetrics()
+        m.record_served("a", False, 0.0, 0.1)
+        m.record_timed_out("a")
+        m.record_failed("b")
+        m.record_shed("b")  # shed is pre-admission, not "completed"
+        assert m.snapshot()["completed"] == 3
+
+    def test_totals_sum_across_tenants(self):
+        m = ServiceMetrics()
+        m.record_submitted("a")
+        m.record_submitted("b")
+        assert m.totals()["submitted"] == 2
+
+    def test_log_line_mentions_key_figures(self):
+        m = ServiceMetrics()
+        m.record_served("a", from_cache=True,
+                        queue_seconds=0.0, total_seconds=0.004)
+        line = m.log_line(queue_depth=2, running=1)
+        assert "served=1" in line
+        assert "queued=2" in line
+        assert "running=1" in line
+        assert "result_cache_hit_rate=1.00" in line

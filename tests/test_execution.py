@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro import FuseMEEngine
-from repro.cluster import SimulatedCluster
-from repro.execution import as_dag
+from repro.cluster import MetricsCollector, SimulatedCluster
+from repro.execution import ExecutionResult, as_dag
 from repro.lang import DAG, matrix_input
 from repro.matrix import rand_dense
 
@@ -51,6 +51,15 @@ class TestExecutionResult:
         result = FuseMEEngine(make_config()).execute(x * 2.0, inputs)
         assert result.dag is result.fusion_plan.dag
 
+    def test_output_without_dag_raises_value_error(self):
+        """A hand-built result with no DAG reports a usable error, not an
+        assertion, when asked for positional outputs."""
+        result = ExecutionResult(
+            outputs={}, metrics=MetricsCollector(), fusion_plan=None
+        )
+        with pytest.raises(ValueError, match="no DAG"):
+            result.output()
+
 
 class TestSharedCluster:
     def test_explicit_cluster_accumulates(self, simple):
@@ -80,3 +89,49 @@ class TestSharedCluster:
         np.testing.assert_allclose(
             result.output().to_numpy(), inputs["X"].to_numpy() * 3.0
         )
+
+    def test_back_to_back_queries_report_independent_metrics(self, simple):
+        """Two queries on one engine + cluster each see only their own
+        modeled delta, matching what a fresh cluster would have reported."""
+        x, inputs = simple
+        config = make_config()
+        reference_a = FuseMEEngine(config).execute(x * 2.0, inputs)
+        reference_b = FuseMEEngine(config).execute(x + 1.0, inputs)
+
+        cluster = SimulatedCluster(config)
+        engine = FuseMEEngine(config)
+        a = engine.execute(x * 2.0, inputs, cluster=cluster)
+        b = engine.execute(x + 1.0, inputs, cluster=cluster)
+
+        assert a.metrics.totals() == reference_a.metrics.totals()
+        assert b.metrics.totals() == reference_b.metrics.totals()
+        # and the cluster's own collector keeps the whole-job sum
+        assert (
+            cluster.metrics.num_stages
+            == a.metrics.num_stages + b.metrics.num_stages
+        )
+
+    def test_reset_metrics_does_not_corrupt_prior_results(self, simple):
+        x, inputs = simple
+        config = make_config()
+        cluster = SimulatedCluster(config)
+        result = FuseMEEngine(config).execute(x * 2.0, inputs, cluster=cluster)
+        totals = result.metrics.totals()
+        cluster.reset_metrics()
+        assert result.metrics.totals() == totals
+        assert cluster.metrics.num_stages == 0
+
+    def test_simulated_timeout_budget_is_per_query(self, simple):
+        """The paper's T.O. applies to one query, not the cluster's whole
+        accumulated life: three queries each well under the budget must all
+        succeed on a shared cluster even though their summed modeled time
+        exceeds it."""
+        x, inputs = simple
+        single = FuseMEEngine(make_config()).execute(x * 2.0, inputs)
+        budget = single.elapsed_seconds * 1.5
+        config = make_config(timeout_seconds=budget)
+        cluster = SimulatedCluster(config)
+        engine = FuseMEEngine(config)
+        for _ in range(3):  # cumulative elapsed ends near 2x the budget
+            engine.execute(x * 2.0, inputs, cluster=cluster)
+        assert cluster.metrics.elapsed_seconds > budget
