@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Import-layering lint for the repro package.
+
+The codebase is layered bottom-up::
+
+    utils, errors, config
+      -> blocks          (single-block kernels; no distribution)
+      -> matrix          (blocked matrices; no cluster knowledge)
+      -> lang            (expression DAG; purely logical)
+      -> cluster         (simulated cluster substrate)
+      -> core / operators / execution   (planning, lowering, physical ops)
+      -> baselines
+      -> serving
+      -> workloads
+
+Each layer may import itself and anything *below* it — never above.  Two
+rules the paper's architecture depends on get called out explicitly:
+
+* ``blocks`` and ``matrix`` never import ``cluster`` (the data plane stays
+  runtime-free), and nothing below ``serving`` imports ``serving``;
+* only the physical layer (``core/cfo.py``, ``core/physical.py``) and
+  ``operators/`` may open cluster stages (``.stage(...)``) — engines and
+  everything above talk to the cluster through the physical plan.
+
+Imports inside ``if TYPE_CHECKING:`` blocks are ignored (annotations only).
+Exit status 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: layer name -> repro sub-packages/modules it may import (besides itself).
+ALLOWED = {
+    "utils": {"errors"},
+    "errors": set(),
+    "config": {"errors"},
+    "blocks": {"utils", "errors", "config"},
+    "matrix": {"blocks", "utils", "errors", "config"},
+    "lang": {"matrix", "blocks", "utils", "errors", "config"},
+    "cluster": {"matrix", "blocks", "utils", "errors", "config"},
+    "core": {"operators", "execution", "cluster", "lang", "matrix", "blocks",
+             "utils", "errors", "config"},
+    "operators": {"core", "cluster", "lang", "matrix", "blocks", "utils",
+                  "errors", "config"},
+    "execution": {"core", "cluster", "lang", "matrix", "blocks", "utils",
+                  "errors", "config"},
+    "baselines": {"core", "operators", "execution", "cluster", "lang",
+                  "matrix", "blocks", "utils", "errors", "config"},
+    "serving": {"baselines", "core", "operators", "execution", "cluster",
+                "lang", "matrix", "blocks", "utils", "errors", "config"},
+    "datasets": {"matrix", "blocks", "utils", "errors", "config"},
+    "workloads": {"serving", "baselines", "core", "operators", "execution",
+                  "cluster", "lang", "matrix", "blocks", "utils", "errors",
+                  "config"},
+}
+
+#: Files allowed to call ``<something>.stage(...)``: the cluster package
+#: (which defines it) plus the physical operators that execute units.
+STAGE_ALLOWED_DIRS = ("cluster", "operators")
+STAGE_ALLOWED_FILES = ("core/cfo.py", "core/physical.py")
+
+
+def layer_of(path: Path) -> str | None:
+    """The layer a source file belongs to (None for the repro facade)."""
+    rel = path.relative_to(SRC)
+    top = rel.parts[0]
+    if top == "__init__.py":
+        return None  # the public facade re-exports every layer
+    if top.endswith(".py"):
+        top = top[:-3]
+    return top
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def repro_imports(tree: ast.AST) -> list[tuple[int, str]]:
+    """(lineno, repro-sub-layer) for every runtime import of repro.*"""
+    found: list[tuple[int, str]] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.If) and _is_type_checking(child.test):
+                for orelse in child.orelse:
+                    visit(orelse)
+                continue
+            if isinstance(child, ast.Import):
+                for alias in child.names:
+                    if alias.name == "repro" or alias.name.startswith("repro."):
+                        parts = alias.name.split(".")
+                        found.append((child.lineno, parts[1] if len(parts) > 1 else ""))
+            elif isinstance(child, ast.ImportFrom):
+                module = child.module or ""
+                if child.level == 0 and (module == "repro" or module.startswith("repro.")):
+                    parts = module.split(".")
+                    found.append((child.lineno, parts[1] if len(parts) > 1 else ""))
+            visit(child)
+
+    visit(tree)
+    return found
+
+
+def stage_calls(tree: ast.AST) -> list[int]:
+    """Line numbers of ``<expr>.stage(...)`` calls."""
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "stage"
+    ]
+
+
+def stage_allowed(rel: str) -> bool:
+    if rel in STAGE_ALLOWED_FILES:
+        return True
+    return rel.split("/", 1)[0] in STAGE_ALLOWED_DIRS
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        layer = layer_of(path)
+        if layer is not None:
+            if layer not in ALLOWED:
+                violations.append(f"{rel}: unknown layer {layer!r} (add it to ALLOWED)")
+                continue
+            permitted = ALLOWED[layer] | {layer}
+            for lineno, target in repro_imports(tree):
+                if target and target not in permitted:
+                    violations.append(
+                        f"{rel}:{lineno}: layer {layer!r} must not import "
+                        f"repro.{target}"
+                    )
+        if not stage_allowed(rel):
+            for lineno in stage_calls(tree):
+                violations.append(
+                    f"{rel}:{lineno}: only operators and the physical layer "
+                    f"may open cluster stages (.stage(...))"
+                )
+    if violations:
+        print(f"check_layers: {len(violations)} violation(s)")
+        for line in violations:
+            print("  " + line)
+        return 1
+    print("check_layers: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,13 @@ from typing import Mapping, Optional
 from repro.cluster.executor import SimulatedCluster
 from repro.config import EngineConfig
 from repro.core.cfg import _order_units
+from repro.core.optimizer import OptimizerResult, optimize_parameters
+from repro.core.physical import (
+    UnitAnnotation,
+    UnitOp,
+    estimate_from_cost,
+    generic_unit_estimate,
+)
 from repro.core.plan import FusionPlan, PartialFusionPlan, PlanUnit
 from repro.execution import Engine
 from repro.lang.dag import DAG
@@ -42,22 +49,34 @@ class DistMELikeEngine(Engine):
         ]
         return FusionPlan(dag, _order_units(dag, units))
 
+    def annotate_unit(
+        self, unit: PlanUnit, hint: Optional[OptimizerResult] = None
+    ) -> UnitAnnotation:
+        plan = unit.plan
+        if plan.contains_matmul:
+            # the unit's plan *is* the single-node plan CuboidMatMul builds,
+            # so searching it here yields the same (P, Q, R) the operator's
+            # constructor used to find on the execution path
+            result = hint or optimize_parameters(plan, self.config)
+            return UnitAnnotation(
+                kind="cuboid-mm",
+                pqr=result.pqr,
+                optimizer_result=result,
+                estimate=estimate_from_cost(result.cost),
+            )
+        return UnitAnnotation(kind="cell", estimate=generic_unit_estimate(unit))
+
     def run_unit(
         self,
-        unit: PlanUnit,
+        op: UnitOp,
         cluster: SimulatedCluster,
         env: Mapping[object, BlockedMatrix],
     ) -> BlockedMatrix:
-        plan = unit.plan
+        plan = op.unit.plan
         if plan.contains_matmul:
-            node = plan.main_matmul()
-            hint = self._unit_hint()
-            if hint is not None:
-                # plan-cache hit: skip the per-multiplication (P, Q, R) search
-                operator = CuboidMatMul(node, plan.dag, self.config, pqr=hint.pqr)
-                operator.optimizer_result = hint
-            else:
-                operator = CuboidMatMul(node, plan.dag, self.config)
-                self._store_unit_hint(operator.optimizer_result)
+            operator = CuboidMatMul(
+                plan.main_matmul(), plan.dag, self.config, pqr=op.pqr
+            )
+            operator.optimizer_result = op.optimizer_result
             return operator.execute(cluster, env)
         return FusedCellOperator(plan, self.config).execute(cluster, env)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.cluster.metrics import MetricsCollector, StageRecord
 from repro.config import EngineConfig
+from repro.core.physical import PhysicalPlan, UnitEstimate, UnitOp
 from repro.errors import TaskOutOfMemoryError
 from repro.execution import ExecutionResult, Query, as_dag
 from repro.lang.dag import Node
@@ -37,6 +38,28 @@ class LocalXLAEngine:
         """One machine's memory: every task slot's budget on one node."""
         cluster = self.config.cluster
         return cluster.task_memory_budget * cluster.tasks_per_node
+
+    def lower_query(self, query: Query, inputs=None) -> PhysicalPlan:
+        """XLA compiles the whole DAG into one fused kernel, so the physical
+        plan is a single synthetic unit covering every root — no fusion plan
+        and no per-unit cuboid search behind it."""
+        dag = as_dag(query)
+        flops = float(sum(n.estimated_flops() for n in dag.operators()))
+        op = UnitOp(
+            index=0,
+            unit=None,
+            kind="xla-fused",
+            deps=(),
+            outputs=tuple(dag.roots),
+            releases=(),
+            estimate=UnitEstimate(net_bytes=0.0, flops=flops),
+            name="xla:fused",
+        )
+        return PhysicalPlan(dag, [op], engine_name=self.name)
+
+    def explain(self, query: Query, inputs=None) -> str:
+        """Render the (single-unit) physical plan without executing."""
+        return self.lower_query(query, inputs).render()
 
     def execute(
         self,
@@ -80,5 +103,9 @@ class LocalXLAEngine:
                 np.atleast_2d(array), block_size=root.meta.block_size
             )
         return ExecutionResult(
-            outputs=outputs, metrics=metrics, fusion_plan=None, dag=dag
+            outputs=outputs,
+            metrics=metrics,
+            fusion_plan=None,
+            dag=dag,
+            physical_plan=self.lower_query(dag),
         )

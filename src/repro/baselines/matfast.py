@@ -14,6 +14,8 @@ from typing import Mapping, Optional
 from repro.cluster.executor import SimulatedCluster
 from repro.config import EngineConfig
 from repro.core.cfg import _cell_fuse_leftovers, _order_units
+from repro.core.optimizer import OptimizerResult
+from repro.core.physical import UnitAnnotation, UnitOp, generic_unit_estimate
 from repro.core.plan import FusionPlan, PartialFusionPlan, PlanUnit
 from repro.execution import Engine
 from repro.lang.dag import DAG, MatMulNode, TransposeNode
@@ -49,13 +51,19 @@ class MatFastLikeEngine(Engine):
                 units.append(PlanUnit(plan=PartialFusionPlan({node}, dag)))
         return FusionPlan(dag, _order_units(dag, units))
 
+    def annotate_unit(
+        self, unit: PlanUnit, hint: Optional[OptimizerResult] = None
+    ) -> UnitAnnotation:
+        kind = "broadcast-mm" if unit.plan.contains_matmul else "cell"
+        return UnitAnnotation(kind=kind, estimate=generic_unit_estimate(unit))
+
     def run_unit(
         self,
-        unit: PlanUnit,
+        op: UnitOp,
         cluster: SimulatedCluster,
         env: Mapping[object, BlockedMatrix],
     ) -> BlockedMatrix:
-        plan = unit.plan
+        plan = op.unit.plan
         if plan.contains_matmul:
             node = plan.main_matmul()
             return BroadcastMatMul(node, plan.dag, self.config).execute(cluster, env)

@@ -5,15 +5,23 @@ Section 6.2: SystemDS "uses the BFO if the number of partitions of X is
 smaller than I or J; otherwise, it uses the RFO".  Standalone matrix
 multiplications broadcast the smaller operand when it fits comfortably in a
 task's budget (mapmm), else fall back to replication (rmm).
+
+The BFO/RFO decision is runtime state: it looks at the *actual* bound
+matrices' sizes, which the plan-level fingerprint cannot see.  Lowering
+therefore annotates each matmul unit with the metadata-estimated choice
+(what EXPLAIN shows), and :meth:`run_unit` re-decides against the live
+environment — keeping served results bit-identical to the pre-IR engine.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.cluster.executor import SimulatedCluster
 from repro.config import EngineConfig
+from repro.core.optimizer import OptimizerResult
+from repro.core.physical import UnitAnnotation, UnitOp, generic_unit_estimate
 from repro.core.plan import FusionPlan, MultiAggPlan, PlanUnit
 from repro.execution import Engine
 from repro.baselines.gen import GenPlanner
@@ -37,32 +45,57 @@ class SystemDSLikeEngine(Engine):
     def __init__(self, config: Optional[EngineConfig] = None):
         super().__init__(config)
         self._planner = GenPlanner(self.config)
-        #: Operator decisions taken during the last run, for inspection.
-        self.last_choices: list[str] = []
+        # keyed by unit index so concurrent unit dispatch stays
+        # deterministic; read through the last_choices property
+        self._choices: Dict[int, str] = {}
+
+    @property
+    def last_choices(self) -> list[str]:
+        """Operator decisions of the last run, in unit order."""
+        return [self._choices[i] for i in sorted(self._choices)]
+
+    def prepare_dag(self, dag: DAG, inputs=None) -> DAG:
+        self._choices = {}
+        return dag
 
     def plan_query(self, dag: DAG) -> FusionPlan:
-        self.last_choices = []
         return self._planner.plan(dag)
+
+    def annotate_unit(
+        self, unit: PlanUnit, hint: Optional[OptimizerResult] = None
+    ) -> UnitAnnotation:
+        plan = unit.plan
+        if isinstance(plan, MultiAggPlan):
+            kind = "multi-agg"
+        elif not plan.contains_matmul:
+            kind = "cell"
+        else:
+            # metadata-estimated choice (run_unit re-decides on live sizes)
+            if len(plan) == 1:
+                kind = f"{self._standalone_strategy(plan)}?"
+            else:
+                kind = f"{self._fused_strategy(plan)}?"
+        return UnitAnnotation(kind=kind, estimate=generic_unit_estimate(unit))
 
     def run_unit(
         self,
-        unit: PlanUnit,
+        op: UnitOp,
         cluster: SimulatedCluster,
         env: Mapping[object, BlockedMatrix],
     ):
-        plan = unit.plan
+        plan = op.unit.plan
         if isinstance(plan, MultiAggPlan):
-            self.last_choices.append(f"multi-agg:{plan.label()}")
+            self._choices[op.index] = f"multi-agg:{plan.label()}"
             return MultiAggregationOperator(plan, self.config).execute(cluster, env)
         if not plan.contains_matmul:
-            self.last_choices.append(f"cell:{plan.label()}")
+            self._choices[op.index] = f"cell:{plan.label()}"
             return FusedCellOperator(plan, self.config).execute(cluster, env)
 
         if len(plan) == 1:
             choice = self._standalone_strategy(plan, env)
         else:
             choice = self._fused_strategy(plan, env)
-        self.last_choices.append(f"{choice}:{plan.label()}")
+        self._choices[op.index] = f"{choice}:{plan.label()}"
         if choice == "bfo":
             operator: object = BroadcastFusedOperator(plan, self.config)
         else:
@@ -72,7 +105,7 @@ class SystemDSLikeEngine(Engine):
     # -- strategy selection --------------------------------------------------
 
     def _fused_strategy(
-        self, plan, env: Mapping[object, BlockedMatrix]
+        self, plan, env: Optional[Mapping[object, BlockedMatrix]] = None
     ) -> str:
         """The paper's rule: BFO iff partitions(main) < I or < J."""
         main_bytes = self._largest_frontier_bytes(plan, env)
@@ -86,10 +119,9 @@ class SystemDSLikeEngine(Engine):
         return "rfo"
 
     def _standalone_strategy(
-        self, plan, env: Mapping[object, BlockedMatrix]
+        self, plan, env: Optional[Mapping[object, BlockedMatrix]] = None
     ) -> str:
         """mapmm (broadcast) when the smaller operand fits, else rmm."""
-        mm = plan.main_matmul()
         sizes = []
         for node in plan.frontier():
             value = self._lookup(node, env)
@@ -102,7 +134,7 @@ class SystemDSLikeEngine(Engine):
         return "rfo"
 
     def _largest_frontier_bytes(
-        self, plan, env: Mapping[object, BlockedMatrix]
+        self, plan, env: Optional[Mapping[object, BlockedMatrix]] = None
     ) -> int:
         largest = 0
         for node in plan.frontier():
@@ -113,8 +145,10 @@ class SystemDSLikeEngine(Engine):
 
     @staticmethod
     def _lookup(
-        node: Node, env: Mapping[object, BlockedMatrix]
+        node: Node, env: Optional[Mapping[object, BlockedMatrix]]
     ) -> Optional[BlockedMatrix]:
+        if env is None:
+            return None
         value = env.get(node.node_id)
         if value is None and isinstance(node, InputNode):
             value = env.get(node.name)

@@ -30,7 +30,9 @@ failed run's partial traffic remains visible in its metrics.
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.config import EngineConfig
 from repro.cluster.metrics import MetricsCollector, StageRecord
@@ -49,6 +51,9 @@ class Stage:
         self.name = name
         self.tasks: list[TaskContext] = []
         self._closed = False
+        #: Physical-plan unit this stage belongs to (captured from the
+        #: cluster's per-thread unit scope at creation), None outside one.
+        self.unit = cluster.current_unit
 
     def task(self) -> TaskContext:
         """Allocate the next task of this stage."""
@@ -119,6 +124,7 @@ class Stage:
             attempts=len(self.tasks) if attempts is None else attempts,
             skew_ratio=self._skew_ratio() if skew is None else skew,
             aborted=aborted,
+            unit=self.unit,
         )
         self._cluster.metrics.record(record)
         return record
@@ -206,12 +212,46 @@ class SimulatedCluster:
         # lifetime, so a long-lived (serving) cluster never times out a
         # query for the time its predecessors spent
         self._query_epoch = 0.0
-        self.runtime = ClusterRuntime(
-            self.config.cluster,
-            fault_plan=self.config.fault_plan,
-            trace=self.trace,
-            overlap=self.config.overlap_comm_compute,
-        )
+        # index into the trace's event list at the start of the current
+        # query; Engine._execute slices from here so each result's trace
+        # holds only its own query's events
+        self._trace_epoch = 0
+        # the event-driven runtime is only needed under
+        # time_model="scheduled"; built lazily so aggregate-mode clusters
+        # (the default, and every seed benchmark) never pay for it
+        self._runtime: Optional[ClusterRuntime] = None
+        # per-thread physical-plan unit index: stages opened on a thread
+        # inherit it, attributing their StageRecords to the unit even when
+        # independent units run concurrently
+        self._unit_scope = threading.local()
+
+    @property
+    def runtime(self) -> ClusterRuntime:
+        """The event-driven per-slot runtime (built on first use)."""
+        if self._runtime is None:
+            self._runtime = ClusterRuntime(
+                self.config.cluster,
+                fault_plan=self.config.fault_plan,
+                trace=self.trace,
+                overlap=self.config.overlap_comm_compute,
+            )
+        return self._runtime
+
+    @property
+    def current_unit(self) -> Optional[int]:
+        """The physical-plan unit index the calling thread is executing."""
+        return getattr(self._unit_scope, "unit", None)
+
+    @contextmanager
+    def unit_scope(self, index: int) -> Iterator[None]:
+        """Attribute stages opened on this thread to physical-plan unit
+        *index* (see :func:`repro.core.physical.run_physical_plan`)."""
+        previous = self.current_unit
+        self._unit_scope.unit = index
+        try:
+            yield
+        finally:
+            self._unit_scope.unit = previous
 
     @property
     def total_tasks(self) -> int:
@@ -236,10 +276,25 @@ class SimulatedCluster:
         modeled time earlier queries on the same cluster consumed.
         """
         self._query_epoch = self.metrics.elapsed_seconds
+        if self.trace is not None:
+            self._trace_epoch = len(self.trace)
+
+    def query_trace(self) -> Optional[TraceRecorder]:
+        """A recorder holding only the current query's events.
+
+        On a long-lived (serving) cluster the live recorder accumulates
+        every tenant's stages; results must not alias it, so this copies
+        the slice recorded since :meth:`begin_query`.  Timestamps stay on
+        the cluster's absolute modeled clock.
+        """
+        if self.trace is None:
+            return None
+        return self.trace.slice_from(self._trace_epoch)
 
     def reset_metrics(self) -> None:
         self.metrics.reset()
         self._query_epoch = 0.0
+        self._trace_epoch = 0
         if self.trace is not None:
             self.trace.clear()
 

@@ -34,6 +34,9 @@ class StageRecord:
     attempts: int = -1
     skew_ratio: float = 1.0
     aborted: bool = False
+    #: Physical-plan unit index this stage ran for (None outside a unit
+    #: scope — e.g. hand-opened stages in tests).
+    unit: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.attempts < 0:
@@ -69,6 +72,21 @@ class MetricsCollector:
     def record(self, stage: StageRecord) -> None:
         with self._lock:
             self.stages.append(stage)
+
+    def reorder_tail(self, start: int, key) -> None:
+        """Stably re-sort ``stages[start:]`` by *key*.
+
+        Used by the wave scheduler: stages of concurrently dispatched units
+        complete interleaved, and re-sorting each wave's records by unit
+        index restores the exact sequential record order (per-stage numbers
+        are pure functions of the stage's own tasks, so reordering is
+        semantics-free — it keeps totals bit-identical across parallelism
+        levels and record lists comparable).
+        """
+        with self._lock:
+            tail = self.stages[start:]
+            tail.sort(key=key)
+            self.stages[start:] = tail
 
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment an observability counter (thread-safe)."""
@@ -138,6 +156,27 @@ class MetricsCollector:
     def max_skew_ratio(self) -> float:
         """Worst per-stage load imbalance seen during the run."""
         return max((s.skew_ratio for s in self.stages), default=1.0)
+
+    def per_unit_totals(self) -> Dict[int, Dict[str, object]]:
+        """Modeled totals grouped by physical-plan unit index.
+
+        Stages recorded outside a unit scope (``unit is None``) are
+        skipped; keys are unit indices in ascending order.
+        """
+        grouped: Dict[int, list[StageRecord]] = {}
+        for stage in self.stages:
+            if stage.unit is not None:
+                grouped.setdefault(stage.unit, []).append(stage)
+        return {
+            unit: {
+                "num_stages": len(stages),
+                "num_tasks": sum(s.num_tasks for s in stages),
+                "comm_bytes": sum(s.comm_bytes for s in stages),
+                "flops": sum(s.flops for s in stages),
+                "elapsed_seconds": sum(s.seconds for s in stages),
+            }
+            for unit, stages in sorted(grouped.items())
+        }
 
     # -- bookkeeping -------------------------------------------------------
 

@@ -14,6 +14,7 @@ any parallelism level.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -22,28 +23,50 @@ from repro.cluster.metrics import MetricsCollector
 Item = TypeVar("Item")
 Result = TypeVar("Result")
 
+#: Marks threads that are already pool workers.  A ``parallel_map`` reached
+#: from inside one (e.g. an operator's per-task pool inside a concurrently
+#: dispatched physical-plan unit) degrades to the serial loop instead of
+#: nesting a second pool — nested pools oversubscribe cores without adding
+#: concurrency, and serial fallback is result-identical by construction.
+_worker = threading.local()
+
 
 def parallel_map(
     fn: Callable[[Item], Result],
     items: Sequence[Item],
     parallelism: int,
     metrics: Optional[MetricsCollector] = None,
+    counter_prefix: str = "pool",
 ) -> List[Result]:
     """Map *fn* over *items*, in order, on up to *parallelism* threads.
 
-    Serial (a plain loop) when ``parallelism <= 1`` or there is at most one
-    item.  Exceptions propagate exactly as in the serial loop: the first
-    failing item's exception is raised in submission order.  When *metrics*
-    is given, pool usage counters are bumped (observability only — counters
-    never feed modeled numbers).
+    Serial (a plain loop) when ``parallelism <= 1``, when there is at most
+    one item, or when called from inside another ``parallel_map`` worker
+    (no nested pools).  Exceptions propagate exactly as in the serial loop:
+    the first failing item's exception is raised in submission order.  When
+    *metrics* is given, pool usage counters (``{counter_prefix}_tasks``
+    etc.) are bumped — observability only; counters never feed modeled
+    numbers.
     """
     items = list(items)
-    if parallelism <= 1 or len(items) <= 1:
+    if (
+        parallelism <= 1
+        or len(items) <= 1
+        or getattr(_worker, "active", False)
+    ):
         return [fn(item) for item in items]
     workers = min(parallelism, len(items))
     if metrics is not None:
-        metrics.bump("pool_tasks", len(items))
-        metrics.bump("pool_batches")
-        metrics.bump_max("pool_width_max", workers)
+        metrics.bump(f"{counter_prefix}_tasks", len(items))
+        metrics.bump(f"{counter_prefix}_batches")
+        metrics.bump_max(f"{counter_prefix}_width_max", workers)
+
+    def run(item: Item) -> Result:
+        _worker.active = True
+        try:
+            return fn(item)
+        finally:
+            _worker.active = False
+
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        return list(pool.map(run, items))

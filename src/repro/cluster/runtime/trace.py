@@ -180,6 +180,18 @@ class TraceRecorder:
                 )
         return "\n".join(lines)
 
+    def slice_from(self, index: int) -> "TraceRecorder":
+        """A new recorder holding a copy of ``events[index:]``.
+
+        Used for per-query trace isolation on shared clusters: the slice is
+        independent of the live recorder (later queries never leak into
+        it).  Timestamps are left absolute — they stay on the cluster's
+        modeled clock, which keeps multiple queries' exports comparable.
+        """
+        sliced = TraceRecorder()
+        sliced.events = list(self.events[index:])
+        return sliced
+
     def clear(self) -> None:
         self.events.clear()
 

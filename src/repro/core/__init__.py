@@ -12,6 +12,9 @@
 * :mod:`repro.core.cfo` — the Cuboid-based Fused Operator (Section 3.2).
 * :mod:`repro.core.cfg` — the Cuboid-based Fusion plan Generator
   (Algorithms 2 and 3).
+* :mod:`repro.core.physical` — the physical-plan layer: fusion plans lower
+  to a typed unit graph (:class:`UnitOp` DAG) with operator kinds, cuboid
+  parameters, cost estimates and materialization lifetimes.
 * :mod:`repro.core.engine` — the FuseME engine tying it all together.
 """
 
@@ -22,6 +25,14 @@ from repro.core.cost import CostModel, PlanCost
 from repro.core.optimizer import OptimizerResult, optimize_parameters
 from repro.core.cfo import CuboidFusedOperator
 from repro.core.cfg import generate_fusion_plan
+from repro.core.physical import (
+    PhysicalPlan,
+    UnitAnnotation,
+    UnitEstimate,
+    UnitOp,
+    lower_plan,
+    run_physical_plan,
+)
 from repro.core.engine import FuseMEEngine
 
 __all__ = [
@@ -42,5 +53,11 @@ __all__ = [
     "OptimizerResult",
     "CuboidFusedOperator",
     "generate_fusion_plan",
+    "PhysicalPlan",
+    "UnitAnnotation",
+    "UnitEstimate",
+    "UnitOp",
+    "lower_plan",
+    "run_physical_plan",
     "FuseMEEngine",
 ]

@@ -2,8 +2,11 @@
 
 ``FuseMEEngine`` wires the pieces together the way the paper's implementation
 does on Spark: the query DAG is simplified, CFG generates a fusion plan whose
-fused units run as CFOs (Cell-fused operators for matmul-free chains), and
-everything executes on the simulated cluster with full cost accounting.
+fused units lower to CFOs (Cell-fused operators for matmul-free chains), and
+the physical plan executes on the simulated cluster with full cost
+accounting.  The cuboid ``(P*, Q*, R*)`` search runs at lowering time
+(:meth:`FuseMEEngine.annotate_unit`), so executing a unit never mutates
+engine state and a plan-cache hit skips the search entirely.
 """
 
 from __future__ import annotations
@@ -14,8 +17,15 @@ from repro.cluster.executor import SimulatedCluster
 from repro.config import EngineConfig
 from repro.core.cfg import ExploitationReport, generate_fusion_plan
 from repro.core.cfo import CuboidFusedOperator
+from repro.core.optimizer import OptimizerResult, optimize_parameters
+from repro.core.physical import (
+    UnitAnnotation,
+    UnitOp,
+    estimate_from_cost,
+    generic_unit_estimate,
+)
 from repro.core.plan import FusionPlan, MultiAggPlan, PlanUnit
-from repro.execution import Engine, ExecutionResult, Query, as_dag
+from repro.execution import Engine
 from repro.lang.dag import DAG
 from repro.lang.rewrites import refresh_leaf_metas, simplify_dag
 from repro.matrix.distributed import BlockedMatrix
@@ -37,25 +47,25 @@ class FuseMEEngine(Engine):
         self.optimizer_method = optimizer_method
         self.last_report: Optional[ExploitationReport] = None
 
-    def execute(self, query: Query, inputs, cluster=None) -> ExecutionResult:
+    def prepare_dag(self, dag: DAG, inputs=None) -> DAG:
         """Simplify the DAG (double-transpose and scalar-chain cleanups)
-        before planning, then run as usual.  With
-        ``config.refine_input_metas`` the declared leaf densities are also
-        replaced by the bound matrices' measured densities, sharpening the
-        optimizer's size estimates."""
+        before planning.  With ``config.refine_input_metas`` and bound
+        inputs, the declared leaf densities are also replaced by the
+        matrices' measured densities, sharpening the optimizer's size
+        estimates."""
         # clear per-query planner state up front: on a plan-cache hit
         # plan_query never runs, and a stale report from an earlier query
         # (possibly another tenant's, under the serving layer) must not
         # leak into this one
         self.last_report = None
-        dag = simplify_dag(as_dag(query))
-        if self.config.refine_input_metas:
+        dag = simplify_dag(dag)
+        if inputs is not None and self.config.refine_input_metas:
             metas = {
                 name: matrix.refreshed_meta()
                 for name, matrix in inputs.items()
             }
             dag = refresh_leaf_metas(dag, metas)
-        return super().execute(dag, inputs, cluster)
+        return dag
 
     def planning_signature(self) -> tuple:
         return super().planning_signature() + (self.optimizer_method,)
@@ -64,26 +74,39 @@ class FuseMEEngine(Engine):
         self.last_report = ExploitationReport()
         return generate_fusion_plan(dag, self.config, report=self.last_report)
 
+    def annotate_unit(
+        self, unit: PlanUnit, hint: Optional[OptimizerResult] = None
+    ) -> UnitAnnotation:
+        plan = unit.plan
+        if isinstance(plan, MultiAggPlan):
+            return UnitAnnotation(
+                kind="multi-agg", estimate=generic_unit_estimate(unit)
+            )
+        if plan.contains_matmul:
+            # the (P*, Q*, R*) search — once here at lowering, never on the
+            # execution path; a plan-cache hint skips it entirely
+            result = hint or optimize_parameters(
+                plan, self.config, method=self.optimizer_method
+            )
+            return UnitAnnotation(
+                kind="cfo",
+                pqr=result.pqr,
+                optimizer_result=result,
+                estimate=estimate_from_cost(result.cost),
+            )
+        return UnitAnnotation(kind="cell", estimate=generic_unit_estimate(unit))
+
     def run_unit(
         self,
-        unit: PlanUnit,
+        op: UnitOp,
         cluster: SimulatedCluster,
         env: Mapping[object, BlockedMatrix],
     ):
-        plan = unit.plan
+        plan = op.unit.plan
         if isinstance(plan, MultiAggPlan):
             return MultiAggregationOperator(plan, self.config).execute(cluster, env)
         if plan.contains_matmul:
-            hint = self._unit_hint()
-            if hint is not None:
-                # plan-cache hit: reuse the cached (P*, Q*, R*) search outcome
-                operator = CuboidFusedOperator(plan, self.config, pqr=hint.pqr)
-                operator.optimizer_result = hint
-            else:
-                operator = CuboidFusedOperator(
-                    plan, self.config, optimizer_method=self.optimizer_method
-                )
-                self._store_unit_hint(operator.optimizer_result)
-        else:
-            operator = FusedCellOperator(plan, self.config)
-        return operator.execute(cluster, env)
+            operator = CuboidFusedOperator(plan, self.config, pqr=op.pqr)
+            operator.optimizer_result = op.optimizer_result
+            return operator.execute(cluster, env)
+        return FusedCellOperator(plan, self.config).execute(cluster, env)

@@ -1,0 +1,409 @@
+"""The physical-plan layer: a typed unit-graph IR between planner and runtime.
+
+The paper separates *plan generation* (Section 4) from *fused-operator
+execution* (Section 3); this module is the seam between the two.  A
+:class:`~repro.core.plan.FusionPlan` says *which operators fuse*; lowering it
+produces a :class:`PhysicalPlan` — a DAG of :class:`UnitOp` nodes that
+additionally says, per unit:
+
+* the **physical operator kind** the engine chose (CFO / BFO / RFO / cell /
+  multi-agg / a standalone multiplication strategy);
+* the **cuboid parameters** ``(P*, Q*, R*)`` and the
+  :class:`~repro.core.optimizer.OptimizerResult` that justified them — the
+  parameter search runs once here, at lowering time, instead of inside the
+  operator's constructor on the execution path;
+* **cost/footprint estimates** from the existing
+  :class:`~repro.core.cost.CostModel` (network bytes, flops, modeled
+  seconds, per-task memory);
+* **dependency edges** on other units (derived from the query DAG), which is
+  what lets independent units dispatch concurrently; and
+* **materialization lifetimes**: the environment keys whose *last* consumer
+  is this unit, so intermediates are released as soon as they are dead
+  instead of living until end-of-query.
+
+Because lowering never opens a cluster stage, a ``PhysicalPlan`` is also the
+engine's introspection surface: ``engine.explain(query)`` renders one without
+executing anything (:meth:`PhysicalPlan.render`).
+
+Execution goes through :func:`run_physical_plan`, the dependency-driven unit
+scheduler.  With ``parallelism <= 1`` it is *sequential-equivalent*: units
+run one at a time in the fusion plan's original order, so stage records
+appear in exactly the order the pre-IR engine produced.  With
+``parallelism > 1`` ready units dispatch concurrently through
+:func:`~repro.cluster.parallel.parallel_map` in dependency waves; merge
+order stays the unit-index order and each unit's stages are pure functions
+of its own tasks, so outputs remain bit-identical and every modeled total
+(seconds, bytes, flops) unchanged — only wall-clock and the interleaving of
+stage records differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.parallel import parallel_map
+from repro.core.optimizer import OptimizerResult
+from repro.core.plan import FusionPlan, PlanUnit
+from repro.errors import PlanError
+from repro.lang.dag import DAG, InputNode, Node
+from repro.utils.formatting import format_bytes
+
+#: Environment key of a materialized value: produced operator outputs are
+#: keyed by ``node_id`` (int), input matrices by name (str).
+EnvKey = object
+
+
+@dataclass(frozen=True)
+class UnitEstimate:
+    """Planner-side cost/footprint estimate for one unit.
+
+    ``seconds`` and ``mem_bytes_per_task`` are only known for units that ran
+    the cuboid parameter search (their :class:`PlanCost` carries both);
+    generic units estimate traffic and flops from node metadata alone.
+    """
+
+    net_bytes: float
+    flops: float
+    seconds: Optional[float] = None
+    mem_bytes_per_task: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class UnitAnnotation:
+    """What an engine adds to a unit during lowering (the subclass hook)."""
+
+    kind: str
+    pqr: Optional[Tuple[int, int, int]] = None
+    optimizer_result: Optional[OptimizerResult] = None
+    estimate: Optional[UnitEstimate] = None
+
+
+@dataclass(frozen=True)
+class UnitOp:
+    """One node of the physical plan: an executable unit, fully annotated."""
+
+    index: int
+    unit: Optional[PlanUnit]
+    kind: str
+    #: Indices of units whose outputs this unit consumes.
+    deps: Tuple[int, ...]
+    #: Nodes this unit materializes.
+    outputs: Tuple[Node, ...]
+    #: Environment keys whose last consumer *in fusion-plan order* is this
+    #: unit — released as soon as it completes in sequential mode.  Never
+    #: contains a key a DAG root still needs.  (Wave-concurrent dispatch may
+    #: run units out of index order, so the scheduler releases by consumer
+    #: refcount there instead — see :func:`run_physical_plan`.)
+    releases: Tuple[EnvKey, ...]
+    #: Environment keys this unit reads (deduplicated, stable order).
+    consumes: Tuple[EnvKey, ...] = ()
+    pqr: Optional[Tuple[int, int, int]] = None
+    optimizer_result: Optional[OptimizerResult] = None
+    estimate: Optional[UnitEstimate] = None
+    #: Display label; defaults to the wrapped unit's plan label.
+    name: str = ""
+
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        return self.unit.label() if self.unit is not None else f"unit{self.index}"
+
+    @property
+    def is_fused(self) -> bool:
+        return self.unit is not None and self.unit.is_fused
+
+
+def estimate_from_cost(cost) -> UnitEstimate:
+    """A :class:`UnitEstimate` from a cuboid search's
+    :class:`~repro.core.cost.PlanCost` (Eq. 2-5 outputs)."""
+    return UnitEstimate(
+        net_bytes=float(cost.net_bytes),
+        flops=float(cost.com_flops),
+        seconds=float(cost.cost_seconds),
+        mem_bytes_per_task=float(cost.mem_bytes_per_task),
+    )
+
+
+def generic_unit_estimate(unit: PlanUnit) -> UnitEstimate:
+    """A metadata-only estimate for units without a parameter search:
+    consolidation traffic ~ the frontier matrices' sizes, flops ~ the fused
+    operators' ``numOp`` totals (Eq. 5 with no replication)."""
+    net = float(sum(n.meta.estimated_bytes for n in unit.plan.frontier()))
+    flops = float(sum(n.estimated_flops() for n in unit.plan.nodes))
+    return UnitEstimate(net_bytes=net, flops=flops)
+
+
+class PhysicalPlan:
+    """A fusion plan lowered to annotated, dependency-linked unit ops."""
+
+    def __init__(
+        self,
+        dag: DAG,
+        ops: Sequence[UnitOp],
+        fusion_plan: Optional[FusionPlan] = None,
+        engine_name: str = "",
+    ):
+        self.dag = dag
+        self.ops: Tuple[UnitOp, ...] = tuple(ops)
+        self.fusion_plan = fusion_plan
+        self.engine_name = engine_name
+        for op in self.ops:
+            for dep in op.deps:
+                if not 0 <= dep < op.index:
+                    raise PlanError(
+                        f"unit {op.index} depends on {dep}, which does not "
+                        f"precede it"
+                    )
+
+    # -- structure ---------------------------------------------------------
+
+    def waves(self) -> List[List[UnitOp]]:
+        """Units grouped into dependency waves (Kahn levels).
+
+        Every unit lands in the earliest wave all its dependencies precede;
+        units within a wave are mutually independent and listed in unit-index
+        order, so dispatch and merge order are deterministic.
+        """
+        level: Dict[int, int] = {}
+        waves: List[List[UnitOp]] = []
+        for op in self.ops:
+            depth = 1 + max((level[d] for d in op.deps), default=-1)
+            level[op.index] = depth
+            while len(waves) <= depth:
+                waves.append([])
+            waves[depth].append(op)
+        return waves
+
+    def critical_path_seconds(self) -> Optional[float]:
+        """Sum over waves of the slowest estimated unit, when every unit has
+        a modeled-seconds estimate; ``None`` otherwise."""
+        total = 0.0
+        for wave in self.waves():
+            secs = [
+                op.estimate.seconds
+                for op in wave
+                if op.estimate is not None and op.estimate.seconds is not None
+            ]
+            if len(secs) != len(wave):
+                return None
+            total += max(secs)
+        return total
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """The EXPLAIN text: every unit with kind, fused nodes, cuboid
+        ``(P, Q, R)``, estimates, dependencies and lifetime releases."""
+        waves = self.waves()
+        header = (
+            f"PhysicalPlan[{self.engine_name or 'engine'}]: "
+            f"{len(self.ops)} unit(s), {len(waves)} wave(s), "
+            f"{len(self.dag.roots)} root(s)"
+        )
+        lines = [header]
+        for depth, wave in enumerate(waves):
+            lines.append(f"wave {depth}:")
+            for op in wave:
+                lines.append("  " + self._render_op(op))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _render_op(op: UnitOp) -> str:
+        parts = [f"[{op.index}] {op.kind:<10} {op.label()}"]
+        if op.pqr is not None:
+            parts.append(f"pqr={op.pqr}")
+        est = op.estimate
+        if est is not None:
+            detail = f"est: net={format_bytes(int(est.net_bytes))} flops={est.flops:.3g}"
+            if est.seconds is not None:
+                detail += f" sec={est.seconds:.4g}"
+            if est.mem_bytes_per_task is not None:
+                detail += f" mem/task={format_bytes(int(est.mem_bytes_per_task))}"
+            parts.append(detail)
+        outs = ",".join(f"#{n.node_id}" for n in op.outputs)
+        parts.append(f"-> {outs}")
+        if op.deps:
+            parts.append("deps=" + ",".join(str(d) for d in op.deps))
+        if op.releases:
+            parts.append(
+                "releases=" + ",".join(_release_label(k) for k in op.releases)
+            )
+        return "  ".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalPlan(engine={self.engine_name!r}, units={len(self.ops)}, "
+            f"waves={len(self.waves())})"
+        )
+
+
+def _release_label(key: EnvKey) -> str:
+    return f"#{key}" if isinstance(key, int) else str(key)
+
+
+def _consumed_keys(unit: PlanUnit) -> List[EnvKey]:
+    """Environment keys a unit reads: operator dependencies by node id,
+    input leaves by name."""
+    keys: List[EnvKey] = []
+    for dep in unit.dependencies():
+        if isinstance(dep, InputNode):
+            keys.append(dep.name)
+        elif dep.is_operator:
+            keys.append(dep.node_id)
+    return keys
+
+
+def _root_keys(dag: DAG) -> set:
+    """Keys the result collection still needs after the last unit ran."""
+    keys = set()
+    for root in dag.roots:
+        if isinstance(root, InputNode):
+            keys.add(root.name)
+        else:
+            keys.add(root.node_id)
+    return keys
+
+
+def lower_plan(
+    dag: DAG,
+    fusion_plan: FusionPlan,
+    annotate: Callable[[PlanUnit, Optional[OptimizerResult]], UnitAnnotation],
+    hints: Optional[Mapping[int, OptimizerResult]] = None,
+    engine_name: str = "",
+) -> PhysicalPlan:
+    """Lower *fusion_plan* to a :class:`PhysicalPlan`.
+
+    *annotate* is the engine's per-unit hook choosing the physical operator
+    kind, the cuboid parameters and the cost estimate; *hints* optionally
+    supplies cached :class:`OptimizerResult` objects by unit index so a
+    plan-cache hit skips the parameter search.
+    """
+    producer: Dict[Node, int] = {}
+    last_consumer: Dict[EnvKey, int] = {}
+    ops: List[UnitOp] = []
+
+    units = list(fusion_plan)
+    for index, unit in enumerate(units):
+        for key in _consumed_keys(unit):
+            last_consumer[key] = index
+
+    keep_alive = _root_keys(dag)
+    releases_at: Dict[int, List[EnvKey]] = {}
+    for key, index in last_consumer.items():
+        if key not in keep_alive:
+            releases_at.setdefault(index, []).append(key)
+
+    for index, unit in enumerate(units):
+        deps = sorted({
+            producer[node]
+            for node in unit.dependencies()
+            if node.is_operator and node in producer
+        })
+        hint = hints.get(index) if hints else None
+        note = annotate(unit, hint)
+        ops.append(
+            UnitOp(
+                index=index,
+                unit=unit,
+                kind=note.kind,
+                deps=tuple(deps),
+                outputs=unit.outputs,
+                releases=tuple(sorted(releases_at.get(index, ()), key=str)),
+                consumes=tuple(dict.fromkeys(_consumed_keys(unit))),
+                pqr=note.pqr,
+                optimizer_result=note.optimizer_result,
+                estimate=note.estimate,
+            )
+        )
+        for node in unit.outputs:
+            producer[node] = index
+    return PhysicalPlan(dag, ops, fusion_plan=fusion_plan, engine_name=engine_name)
+
+
+def run_physical_plan(
+    engine,
+    physical: PhysicalPlan,
+    cluster,
+    env: Dict[EnvKey, object],
+    parallelism: int = 1,
+) -> None:
+    """Execute *physical* on *cluster*, materializing unit outputs into *env*.
+
+    ``parallelism <= 1`` is sequential-equivalent mode: units run in the
+    fusion plan's original order and each unit's dead inputs are released
+    the moment it completes.  ``parallelism > 1`` dispatches each dependency
+    wave concurrently through :func:`parallel_map`; results merge in unit
+    index order and releases happen after the wave, so outputs and modeled
+    totals match the sequential run exactly.
+
+    During a wave *env* is only read (all writes happen at the merge
+    barrier), which is what makes concurrent unit execution safe.
+    """
+    metrics = cluster.metrics
+
+    def run_op(op: UnitOp):
+        with cluster.unit_scope(op.index):
+            return engine.run_unit(op, cluster, env)
+
+    def merge(op: UnitOp, result) -> None:
+        if isinstance(result, dict):
+            # multi-output unit (Multi-aggregation fusion)
+            for node, value in result.items():
+                env[node.node_id] = value
+        else:
+            env[op.unit.output.node_id] = result
+
+    def release_key(key: EnvKey) -> None:
+        if env.pop(key, None) is not None:
+            metrics.bump("env_keys_released")
+
+    if parallelism <= 1:
+        for op in physical.ops:
+            merge(op, run_op(op))
+            for key in op.releases:
+                release_key(key)
+        return
+
+    # Waves run units out of index order, so the index-based ``releases``
+    # annotation would free keys a later-wave, smaller-index consumer still
+    # needs.  Release by consumer refcount instead: a releasable key dies at
+    # the wave barrier after its final consumer actually ran.
+    releasable = {key for op in physical.ops for key in op.releases}
+    remaining: Dict[EnvKey, set] = {}
+    for op in physical.ops:
+        for key in op.consumes:
+            if key in releasable:
+                remaining.setdefault(key, set()).add(op.index)
+
+    for wave in physical.waves():
+        metrics.bump("unit_waves")
+        metrics.bump_max("unit_wave_width_max", len(wave))
+        wave_start = metrics.num_stages
+        results = parallel_map(
+            run_op, wave, parallelism, metrics=metrics,
+            counter_prefix="unit_pool",
+        )
+        # restore unit-index record order within the wave so the stage list
+        # (and every order-sensitive float sum over it) is bit-identical to
+        # the sequential run
+        metrics.reorder_tail(
+            wave_start,
+            key=lambda s: s.unit if s.unit is not None else len(physical.ops),
+        )
+        for op, result in zip(wave, results):
+            merge(op, result)
+        for op in wave:
+            for key in op.consumes:
+                consumers = remaining.get(key)
+                if consumers is not None:
+                    consumers.discard(op.index)
+                    if not consumers:
+                        del remaining[key]
+                        release_key(key)

@@ -83,12 +83,15 @@ class PlanCacheEntry:
 
     ``unit_hints`` maps unit index -> that unit's
     :class:`~repro.core.optimizer.OptimizerResult` (only units that ran a
-    parameter search have one).
+    parameter search have one).  ``physical`` is the lowered
+    :class:`~repro.core.physical.PhysicalPlan` — complete at planning time,
+    so a hit skips planning, lowering *and* every parameter search.
     """
 
     dag: DAG
     fusion_plan: "FusionPlan"  # noqa: F821 - avoids an import cycle
     unit_hints: Dict[int, object] = field(default_factory=dict)
+    physical: "Optional[PhysicalPlan]" = None  # noqa: F821 - import cycle
 
 
 class PlanCache:

@@ -1,10 +1,16 @@
 """Shared engine skeleton.
 
 Every engine in this repository — FuseME and the four baselines — executes a
-query the same way: plan the DAG into units, then run the units in dependency
-order on the simulated cluster, materializing each unit's output.  Engines
-differ only in *how they plan* (which operators fuse) and *which physical
-operator runs a unit* — exactly the axes the paper's evaluation compares.
+query the same way: plan the DAG into a fusion plan, *lower* it to a typed
+:class:`~repro.core.physical.PhysicalPlan` (operator kinds, cuboid
+parameters, cost estimates, dependency edges, materialization lifetimes),
+then run the unit graph on the simulated cluster through the
+dependency-driven scheduler.  Engines differ only in *how they plan* (which
+operators fuse) and *which physical operator runs a unit* — exactly the axes
+the paper's evaluation compares.
+
+The physical plan is also the introspection surface: :meth:`Engine.explain`
+plans and lowers a query without opening a single cluster stage.
 """
 
 from __future__ import annotations
@@ -19,11 +25,19 @@ from repro.cluster.metrics import MetricsCollector
 from repro.cluster.slice_cache import SliceCache
 from repro.cluster.runtime import TraceRecorder
 from repro.config import EngineConfig
-from repro.core.plan import FusionPlan, PlanUnit
+from repro.core.physical import (
+    PhysicalPlan,
+    UnitAnnotation,
+    UnitOp,
+    generic_unit_estimate,
+    lower_plan,
+    run_physical_plan,
+)
+from repro.core.plan import FusionPlan, MultiAggPlan, PlanUnit
 from repro.core.plan_cache import PlanCache, PlanCacheEntry, dag_fingerprint
 from repro.errors import PlanError
 from repro.lang.builder import Expr
-from repro.lang.dag import DAG, Node
+from repro.lang.dag import DAG, InputNode, Node
 from repro.matrix.distributed import BlockedMatrix
 
 Query = Union[DAG, Expr, Sequence[Expr]]
@@ -47,8 +61,12 @@ class ExecutionResult:
     fusion_plan: Optional[FusionPlan]
     dag: Optional[DAG] = None
     #: Structured runtime trace (auto-attached when time_model="scheduled");
-    #: export with ``result.trace.write_chrome_trace("run.json")``.
+    #: per-query slice — on a shared cluster it contains only this query's
+    #: events.  Export with ``result.trace.write_chrome_trace("run.json")``.
     trace: Optional[TraceRecorder] = None
+    #: The lowered unit graph this query executed through (None only for
+    #: hand-built results).
+    physical_plan: Optional[PhysicalPlan] = None
 
     def __post_init__(self) -> None:
         if self.dag is None and self.fusion_plan is not None:
@@ -61,6 +79,11 @@ class ExecutionResult:
                 "ExecutionResult has no DAG attached; read .outputs directly"
             )
         roots = list(self.dag.roots)
+        if not -len(roots) <= index < len(roots):
+            raise IndexError(
+                f"output index {index} out of range: this query has "
+                f"{len(roots)} root(s)"
+            )
         return self.outputs[roots[index]]
 
     @property
@@ -73,7 +96,7 @@ class ExecutionResult:
 
 
 class Engine(ABC):
-    """Base class: plan a DAG, then execute its units on the cluster."""
+    """Base class: plan a DAG, lower it, then execute units on the cluster."""
 
     #: Human-readable engine name (appears in benchmark tables).
     name: str = "engine"
@@ -81,20 +104,18 @@ class Engine(ABC):
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config or EngineConfig()
         #: Finished plans keyed by (planning signature, DAG fingerprint);
-        #: iterative workloads hit it from iteration 2 on.
+        #: iterative workloads hit it from iteration 2 on.  Entries carry
+        #: the lowered physical plan, so a hit skips lowering and every
+        #: per-unit parameter search too.
         self.plan_cache = PlanCache(self.config.plan_cache_size)
         #: Materialized consolidation slabs, shared across executes so an
         #: iterative workload re-binding the same matrix (GNMF's ``X``)
         #: skips the copy from iteration 2 on.
         self.slice_cache = SliceCache(enabled=self.config.slice_reuse)
-        self._unit_hints: Optional[Dict[int, object]] = None
-        self._hint_sink: Optional[Dict[int, object]] = None
-        self._unit_index = -1
-        #: Serializes execute() on this engine: planner hints, the slice
-        #: cache attachment and cluster-stage accounting are per-engine
-        #: mutable state, so concurrent submitters (the serving layer) take
-        #: turns; intra-query parallelism still comes from
-        #: ``config.local_parallelism``.
+        #: Serializes execute() on this engine: the slice cache attachment
+        #: and cluster-stage accounting are per-engine mutable state, so
+        #: concurrent submitters (the serving layer) take turns; intra-query
+        #: parallelism still comes from ``config.local_parallelism``.
         self._execute_lock = threading.RLock()
 
     # -- subclass hooks --------------------------------------------------------
@@ -106,15 +127,43 @@ class Engine(ABC):
     @abstractmethod
     def run_unit(
         self,
-        unit: PlanUnit,
+        op: UnitOp,
         cluster: SimulatedCluster,
         env: Mapping[object, BlockedMatrix],
     ) -> Union[BlockedMatrix, Dict[Node, BlockedMatrix]]:
-        """Execute one plan unit and return its materialized output.
+        """Execute one physical unit and return its materialized output.
 
         Multi-output units (Multi-aggregation fusion) return a mapping from
         root node to its materialized matrix instead of a single matrix.
+        The :class:`UnitOp` carries the lowering-time decisions (operator
+        kind, cuboid parameters), so this must not mutate engine state —
+        independent units may run concurrently.
         """
+
+    def prepare_dag(self, dag: DAG, inputs: Optional[Mapping[str, BlockedMatrix]] = None) -> DAG:
+        """Engine-specific query normalization before planning (rewrites,
+        metadata refinement).  *inputs* is None when called from
+        :meth:`explain` without bound matrices."""
+        return dag
+
+    def annotate_unit(
+        self, unit: PlanUnit, hint=None
+    ) -> UnitAnnotation:
+        """Choose the physical operator kind and cost estimate for *unit*.
+
+        Called once per unit during lowering; *hint* is the cached
+        :class:`~repro.core.optimizer.OptimizerResult` on a plan-cache
+        rebuild.  The base implementation classifies by plan structure and
+        attaches a metadata-only estimate; engines refine it.
+        """
+        plan = unit.plan
+        if isinstance(plan, MultiAggPlan):
+            kind = "multi-agg"
+        elif plan.contains_matmul:
+            kind = "matmul"
+        else:
+            kind = "cell"
+        return UnitAnnotation(kind=kind, estimate=generic_unit_estimate(unit))
 
     def planning_signature(self) -> tuple:
         """Everything besides DAG structure that can steer planning.
@@ -142,18 +191,65 @@ class Engine(ABC):
             config.sparse_threshold,
         )
 
-    # -- per-unit optimizer hints (populated by the plan cache) ---------------
+    # -- planning / lowering ----------------------------------------------------
 
-    def _unit_hint(self):
-        """The cached OptimizerResult for the unit currently running."""
-        if self._unit_hints is None:
-            return None
-        return self._unit_hints.get(self._unit_index)
+    def _plan_physical(self, dag: DAG) -> tuple[DAG, PhysicalPlan, bool]:
+        """Plan + lower *dag*, via the plan cache.
 
-    def _store_unit_hint(self, result: object) -> None:
-        """Remember this unit's optimizer outcome for future cache hits."""
-        if self._hint_sink is not None and result is not None:
-            self._hint_sink[self._unit_index] = result
+        Returns ``(dag, physical, cache_hit)`` — on a hit the returned DAG
+        is the cached one (plan units hold identity-hashed nodes of the DAG
+        they were planned against; inputs still bind by name, which the
+        fingerprint guarantees to match).
+        """
+        cache_key = None
+        if self.plan_cache.enabled:
+            cache_key = (self.planning_signature(), dag_fingerprint(dag))
+            entry = self.plan_cache.get(cache_key)
+            if entry is not None and entry.physical is not None:
+                return entry.dag, entry.physical, True
+        fusion_plan = self.plan_query(dag)
+        physical = lower_plan(
+            dag,
+            fusion_plan,
+            self.annotate_unit,
+            engine_name=self.name,
+        )
+        if cache_key is not None:
+            hints = {
+                op.index: op.optimizer_result
+                for op in physical.ops
+                if op.optimizer_result is not None
+            }
+            self.plan_cache.put(
+                cache_key,
+                PlanCacheEntry(dag, fusion_plan, hints, physical=physical),
+            )
+        return dag, physical, False
+
+    def explain(
+        self,
+        query: Query,
+        inputs: Optional[Mapping[str, BlockedMatrix]] = None,
+    ) -> str:
+        """Render the physical plan for *query* without executing it.
+
+        Plans and lowers exactly the way :meth:`execute` would (sharing the
+        plan cache, so a later execute of the same query reuses the work)
+        but never opens a cluster stage.  *inputs* is optional — when given
+        it feeds the same metadata refinement execute would apply.
+        """
+        return self.lower_query(query, inputs).render()
+
+    def lower_query(
+        self,
+        query: Query,
+        inputs: Optional[Mapping[str, BlockedMatrix]] = None,
+    ) -> PhysicalPlan:
+        """Plan + lower *query* to its :class:`PhysicalPlan` (no execution)."""
+        dag = self.prepare_dag(as_dag(query), inputs)
+        with self._execute_lock:
+            _, physical, _ = self._plan_physical(dag)
+        return physical
 
     # -- driver ---------------------------------------------------------------------
 
@@ -166,13 +262,12 @@ class Engine(ABC):
         """Plan and run *query* against named input matrices.
 
         Thread-safe: concurrent callers serialize on the engine's execute
-        lock (planner hints and cluster-stage accounting are per-engine
-        mutable state).  The returned result's metrics are the delta this
-        query accumulated, so queries sharing one long-lived cluster report
-        independent per-query numbers while the cluster's own collector
-        keeps whole-job totals.
+        lock (cluster-stage accounting is per-engine mutable state).  The
+        returned result's metrics are the delta this query accumulated, so
+        queries sharing one long-lived cluster report independent per-query
+        numbers while the cluster's own collector keeps whole-job totals.
         """
-        dag = as_dag(query)
+        dag = self.prepare_dag(as_dag(query), inputs)
         dag.validate_inputs(inputs.keys())
         self._check_bindings(dag, inputs)
         if cluster is None:
@@ -195,72 +290,54 @@ class Engine(ABC):
         slice_hits0 = self.slice_cache.hits
         slice_misses0 = self.slice_cache.misses
 
-        cache_key = None
-        entry = None
+        dag, physical, cache_hit = self._plan_physical(dag)
         if self.plan_cache.enabled:
-            cache_key = (self.planning_signature(), dag_fingerprint(dag))
-            entry = self.plan_cache.get(cache_key)
-        if entry is not None:
-            # plan units reference the cached DAG's (identity-hashed) nodes,
-            # so execution proceeds against that DAG; inputs still bind by
-            # name, which the fingerprint guarantees to match
-            dag = entry.dag
-            fusion_plan = entry.fusion_plan
-            self._unit_hints = entry.unit_hints
-            self._hint_sink = None
-            cluster.metrics.bump("plan_cache_hits")
-        else:
-            fusion_plan = self.plan_query(dag)
-            self._unit_hints = None
-            self._hint_sink = {} if cache_key is not None else None
-            if cache_key is not None:
-                cluster.metrics.bump("plan_cache_misses")
+            cluster.metrics.bump(
+                "plan_cache_hits" if cache_hit else "plan_cache_misses"
+            )
 
         env: Dict[object, BlockedMatrix] = dict(inputs)
         try:
-            for index, unit in enumerate(fusion_plan):
-                self._unit_index = index
-                result = self.run_unit(unit, cluster, env)
-                if isinstance(result, dict):
-                    # multi-output unit (Multi-aggregation fusion)
-                    for node, value in result.items():
-                        env[node.node_id] = value
-                else:
-                    env[unit.output.node_id] = result
+            run_physical_plan(
+                self, physical, cluster, env,
+                parallelism=self.config.local_parallelism,
+            )
         finally:
-            self._unit_index = -1
             slices = cluster.slice_cache
             hit_delta = slices.hits - slice_hits0
             miss_delta = slices.misses - slice_misses0
             if hit_delta or miss_delta:
                 cluster.metrics.bump("slice_cache_hits", hit_delta)
                 cluster.metrics.bump("slice_cache_misses", miss_delta)
-            hints = self._hint_sink
-            self._unit_hints = None
-            self._hint_sink = None
 
-        if cache_key is not None and entry is None:
-            # store only finished executions: an aborted run may have planned
-            # fine, but its hints would be incomplete
-            self.plan_cache.put(
-                cache_key, PlanCacheEntry(dag, fusion_plan, hints or {})
-            )
-        outputs = {root: self._root_value(root, env) for root in dag.roots}
+        outputs = {root: self._root_value(root, env, inputs) for root in dag.roots}
         return ExecutionResult(
             outputs=outputs,
             metrics=cluster.metrics.diff_since(baseline),
-            fusion_plan=fusion_plan,
-            trace=cluster.trace,
+            fusion_plan=physical.fusion_plan,
+            trace=cluster.query_trace(),
+            physical_plan=physical,
         )
 
     @staticmethod
-    def _root_value(root: Node, env: Mapping[object, BlockedMatrix]) -> BlockedMatrix:
+    def _root_value(
+        root: Node,
+        env: Mapping[object, BlockedMatrix],
+        inputs: Optional[Mapping[str, BlockedMatrix]] = None,
+    ) -> BlockedMatrix:
+        # a bare-input root resolves by name, never by node id: in a
+        # multi-root DAG the leaf object may have been rebuilt by rewrites
+        # (meta refresh) or belong to a cached plan's DAG, and the name is
+        # the stable binding key
+        if isinstance(root, InputNode):
+            value = env.get(root.name)
+            if value is None and inputs is not None:
+                value = inputs.get(root.name)
+            if value is None:
+                raise PlanError(f"no binding for input root {root!r}")
+            return value
         value = env.get(root.node_id)
         if value is None:
-            # a root that is itself an input matrix
-            name = getattr(root, "name", None)
-            if name is not None and name in env:
-                return env[name]
             raise PlanError(f"no value produced for root {root!r}")
         return value
 

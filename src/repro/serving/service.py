@@ -284,6 +284,26 @@ class MatrixService:
         """Submit and block until the result is available."""
         return self.submit(session, query, inputs, priority).result(timeout)
 
+    def explain(
+        self,
+        session: Session,
+        query: Query,
+        inputs: Optional[Mapping[str, BlockedMatrix]] = None,
+    ) -> str:
+        """Render *query*'s physical plan without executing it.
+
+        Resolves bindings exactly like :meth:`submit` (so the plan reflects
+        this session's inputs), plans and lowers on the shared engine —
+        warming the plan cache for a later execute — and never opens a
+        cluster stage, bypasses admission, and touches no result cache.
+        """
+        if session.closed:
+            raise SessionClosedError(f"session {session.session_id} is closed")
+        dag = as_dag(query)
+        bound = session.resolve_inputs(inputs)
+        dag.validate_inputs(bound.keys())
+        return self.engine.explain(dag, bound)
+
     # -- dispatch ---------------------------------------------------------
 
     def _dispatch_loop(self) -> None:

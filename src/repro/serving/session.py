@@ -109,6 +109,14 @@ class Session:
         """Submit *query* and block until its result is available."""
         return self.submit(query, inputs=inputs, priority=priority).result(timeout)
 
+    def explain(
+        self,
+        query: "Query",
+        inputs: Optional[Mapping[str, BlockedMatrix]] = None,
+    ) -> str:
+        """Render *query*'s physical plan (no execution, no admission)."""
+        return self._service.explain(self, query, inputs=inputs)
+
     # -- lifecycle --------------------------------------------------------
 
     @property

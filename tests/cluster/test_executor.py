@@ -103,3 +103,70 @@ class TestTiming:
     def test_total_tasks(self):
         c = cluster(num_nodes=3, tasks_per_node=5)
         assert c.total_tasks == 15
+
+
+class TestLazyRuntime:
+    def test_aggregate_mode_never_builds_runtime(self):
+        """The event-driven runtime is scheduled-mode machinery; the default
+        aggregate cluster must stay runtime-free even after running stages."""
+        c = cluster()  # time_model="aggregate"
+        assert c._runtime is None
+        with c.stage("s") as stage:
+            stage.task().add_flops(10)
+        assert c._runtime is None
+
+    def test_scheduled_mode_builds_runtime_on_demand(self):
+        c = cluster(time_model="scheduled")
+        assert c._runtime is None
+        with c.stage("s") as stage:
+            stage.task().add_flops(10)
+        assert c._runtime is not None
+        assert c.runtime is c._runtime  # property reuses the instance
+
+
+class TestUnitScope:
+    def test_stages_inherit_thread_unit(self):
+        c = cluster()
+        with c.stage("outside") as stage:
+            stage.task()
+        with c.unit_scope(7):
+            with c.stage("inside") as stage:
+                stage.task()
+        records = {s.name: s.unit for s in c.metrics}
+        assert records == {"outside": None, "inside": 7}
+
+    def test_unit_scope_nests_and_restores(self):
+        c = cluster()
+        with c.unit_scope(1):
+            with c.unit_scope(2):
+                assert c.current_unit == 2
+            assert c.current_unit == 1
+        assert c.current_unit is None
+
+
+class TestQueryTrace:
+    def test_query_trace_is_isolated_slice(self):
+        """Each query's trace holds only its own events, independent of the
+        live recorder (per-query trace isolation on shared clusters)."""
+        c = cluster(time_model="scheduled")
+        c.begin_query()
+        with c.stage("q1") as stage:
+            stage.task().add_flops(10)
+        first = c.query_trace()
+        c.begin_query()
+        with c.stage("q2") as stage:
+            stage.task().add_flops(10)
+        second = c.query_trace()
+
+        assert first is not c.trace and second is not c.trace
+        first_names = {e.name for e in first.events}
+        second_names = {e.name for e in second.events}
+        assert any("q1" in n for n in first_names)
+        assert not any("q2" in n for n in first_names)
+        assert not any("q1" in n for n in second_names)
+        assert len(first) + len(second) == len(c.trace)
+
+    def test_query_trace_none_without_recorder(self):
+        c = cluster()  # aggregate mode, no trace attached
+        c.begin_query()
+        assert c.query_trace() is None

@@ -1,0 +1,151 @@
+"""Equivalence suite: parallel unit dispatch == sequential execution.
+
+The dependency-driven scheduler (``repro.core.physical.run_physical_plan``)
+dispatches independent units concurrently when ``local_parallelism > 1``.
+These tests assert the contract that makes that safe to enable anywhere:
+across all five engines, outputs are bit-identical and every modeled total
+(seconds, bytes, flops, stages) is unchanged at any parallelism level.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistMELikeEngine,
+    FuseMEEngine,
+    LocalXLAEngine,
+    MatFastLikeEngine,
+    SystemDSLikeEngine,
+)
+from repro.workloads.gnmf import gnmf_updates
+
+from tests.conftest import make_config
+
+BS = 20
+
+ENGINES = [
+    FuseMEEngine,
+    DistMELikeEngine,
+    SystemDSLikeEngine,
+    MatFastLikeEngine,
+    LocalXLAEngine,
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The two-root GNMF update: two independent unit chains per query."""
+    from repro.matrix import rand_dense, rand_sparse
+
+    q = gnmf_updates(100, 80, 20, density=0.2, block_size=BS)
+    inputs = {
+        "X": rand_sparse(100, 80, density=0.2, block_size=BS, seed=11),
+        "U": rand_dense(20, 80, BS, seed=12, low=0.1, high=1.0),
+        "V": rand_dense(100, 20, BS, seed=13, low=0.1, high=1.0),
+    }
+    return [q.u_update, q.v_update], inputs
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES, ids=lambda c: c.name)
+def test_parallel_dispatch_is_bit_identical(engine_cls, workload):
+    query, inputs = workload
+    sequential = engine_cls(make_config(block_size=BS)).execute(query, inputs)
+    concurrent = engine_cls(
+        make_config(block_size=BS, local_parallelism=4)
+    ).execute(query, inputs)
+
+    roots_s = list(sequential.dag.roots)
+    roots_c = list(concurrent.dag.roots)
+    for root_s, root_c in zip(roots_s, roots_c):
+        a = sequential.outputs[root_s].to_numpy()
+        b = concurrent.outputs[root_c].to_numpy()
+        assert np.array_equal(a, b), "outputs must be bit-identical"
+
+    assert sequential.metrics.totals() == concurrent.metrics.totals()
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES[:4], ids=lambda c: c.name)
+def test_stage_multiset_is_identical(engine_cls, workload):
+    """Concurrent dispatch may reorder stage records between independent
+    units but never changes the stages themselves: same names, same
+    per-stage modeled numbers, as a multiset."""
+    query, inputs = workload
+
+    def stage_multiset(result):
+        return sorted(
+            (s.name, s.num_tasks, s.comm_bytes, s.flops, round(s.seconds, 12))
+            for s in result.metrics
+        )
+
+    sequential = engine_cls(make_config(block_size=BS)).execute(query, inputs)
+    concurrent = engine_cls(
+        make_config(block_size=BS, local_parallelism=4)
+    ).execute(query, inputs)
+    assert stage_multiset(sequential) == stage_multiset(concurrent)
+
+
+def test_concurrent_dispatch_actually_overlaps(workload):
+    """With parallelism the scheduler runs dependency waves, and the GNMF
+    DAG's wave 0 holds two independent units (observability counters)."""
+    query, inputs = workload
+    result = FuseMEEngine(
+        make_config(block_size=BS, local_parallelism=4)
+    ).execute(query, inputs)
+    assert result.metrics.counter("unit_waves") == 2
+    assert result.metrics.counter("unit_wave_width_max") == 2
+    assert result.metrics.counter("unit_pool_batches") >= 1
+
+
+def test_sequential_mode_runs_fusion_plan_order(workload):
+    """parallelism<=1 keeps the exact pre-IR stage record order (the
+    sequential-equivalent contract)."""
+    query, inputs = workload
+    result = FuseMEEngine(make_config(block_size=BS)).execute(query, inputs)
+    units = [s.unit for s in result.metrics if s.unit is not None]
+    assert units == sorted(units), "stages must appear in unit order"
+    assert result.metrics.counter("unit_waves") == 0
+
+
+def test_per_unit_metrics_attribution(workload):
+    """Every stage of a physical-plan run is attributed to its unit, and
+    per-unit totals sum back to the query totals."""
+    query, inputs = workload
+    result = FuseMEEngine(
+        make_config(block_size=BS, local_parallelism=4)
+    ).execute(query, inputs)
+    per_unit = result.metrics.per_unit_totals()
+    assert set(per_unit) == {0, 1, 2, 3}
+    assert sum(u["comm_bytes"] for u in per_unit.values()) == (
+        result.metrics.comm_bytes
+    )
+    assert sum(u["num_stages"] for u in per_unit.values()) == (
+        result.metrics.num_stages
+    )
+
+
+def test_intermediates_released_at_last_consumer(workload):
+    """The lifetime model frees dead env keys (observability counter) while
+    leaving results intact."""
+    query, inputs = workload
+    result = FuseMEEngine(make_config(block_size=BS)).execute(query, inputs)
+    # 2 intermediates + 3 inputs die before end-of-query
+    assert result.metrics.counter("env_keys_released") == 5
+    assert result.output(0).shape == (20, 80)
+    assert result.output(1).shape == (100, 20)
+
+
+def test_scheduled_time_model_equivalence(workload):
+    """The contract holds under the event-driven runtime too."""
+    query, inputs = workload
+    sequential = FuseMEEngine(
+        make_config(block_size=BS, time_model="scheduled")
+    ).execute(query, inputs)
+    concurrent = FuseMEEngine(
+        make_config(block_size=BS, time_model="scheduled", local_parallelism=4)
+    ).execute(query, inputs)
+    assert sequential.metrics.totals() == concurrent.metrics.totals()
+    for root_s, root_c in zip(sequential.dag.roots, concurrent.dag.roots):
+        assert np.array_equal(
+            sequential.outputs[root_s].to_numpy(),
+            concurrent.outputs[root_c].to_numpy(),
+        )

@@ -135,3 +135,62 @@ class TestSharedCluster:
         for _ in range(3):  # cumulative elapsed ends near 2x the budget
             engine.execute(x * 2.0, inputs, cluster=cluster)
         assert cluster.metrics.elapsed_seconds > budget
+
+
+class TestRootResolution:
+    def test_multi_root_dag_with_bare_input_root(self, simple):
+        """A root that is a plain input resolves by name — even though the
+        lifetime model releases intermediates, a bare-input root's binding
+        survives to result collection."""
+        x, inputs = simple
+        result = FuseMEEngine(make_config()).execute([x, x * 2.0], inputs)
+        np.testing.assert_array_equal(
+            result.output(0).to_numpy(), inputs["X"].to_numpy()
+        )
+        np.testing.assert_allclose(
+            result.output(1).to_numpy(), inputs["X"].to_numpy() * 2.0
+        )
+
+    def test_bare_input_root_across_all_engines(self, simple):
+        from repro import (
+            DistMELikeEngine,
+            MatFastLikeEngine,
+            SystemDSLikeEngine,
+        )
+
+        x, inputs = simple
+        for engine_cls in (DistMELikeEngine, SystemDSLikeEngine, MatFastLikeEngine):
+            result = engine_cls(make_config()).execute([x * 3.0, x], inputs)
+            np.testing.assert_array_equal(
+                result.output(1).to_numpy(), inputs["X"].to_numpy()
+            )
+
+    def test_output_index_out_of_range_message(self, simple):
+        x, inputs = simple
+        result = FuseMEEngine(make_config()).execute([x * 2.0, x + 1.0], inputs)
+        with pytest.raises(IndexError, match="output index 2 out of range"):
+            result.output(2)
+        with pytest.raises(IndexError, match="2 root"):
+            result.output(-3)
+        # negative indices within range still work, like list indexing
+        assert result.output(-1) is result.output(1)
+
+
+class TestTraceIsolation:
+    def test_result_trace_is_per_query_slice(self, simple):
+        """On a shared scheduled-mode cluster, each result's trace contains
+        only its own query's events and never aliases the live recorder."""
+        x, inputs = simple
+        config = make_config(time_model="scheduled")
+        cluster = SimulatedCluster(config)
+        engine = FuseMEEngine(config)
+        a = engine.execute(x * 2.0, inputs, cluster=cluster)
+        b = engine.execute(x + 1.0, inputs, cluster=cluster)
+        assert a.trace is not cluster.trace
+        assert b.trace is not cluster.trace
+        assert len(a.trace) + len(b.trace) == len(cluster.trace)
+        # a's slice was taken before b ran and is frozen: b's events are not in it
+        a_names = {e.name for e in a.trace.events}
+        b_names = {e.name for e in b.trace.events}
+        assert not (a_names & b_names) or a.trace.events != b.trace.events
+        assert len(a.trace) > 0 and len(b.trace) > 0
