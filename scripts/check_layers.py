@@ -40,24 +40,29 @@ ALLOWED = {
     "utils": {"errors"},
     "errors": set(),
     "config": {"errors"},
+    # obs sits at the bottom next to config: upper layers hand it plain
+    # data, and it may never import core/cluster/serving (no cycles, and
+    # telemetry can never reach back into the engine).
+    "obs": {"utils", "errors", "config"},
     "blocks": {"utils", "errors", "config"},
     "matrix": {"blocks", "utils", "errors", "config"},
     "lang": {"matrix", "blocks", "utils", "errors", "config"},
     "cluster": {"matrix", "blocks", "utils", "errors", "config"},
     "core": {"operators", "execution", "cluster", "lang", "matrix", "blocks",
-             "utils", "errors", "config"},
-    "operators": {"core", "cluster", "lang", "matrix", "blocks", "utils",
-                  "errors", "config"},
-    "execution": {"core", "cluster", "lang", "matrix", "blocks", "utils",
-                  "errors", "config"},
+             "obs", "utils", "errors", "config"},
+    "operators": {"core", "cluster", "lang", "matrix", "blocks", "obs",
+                  "utils", "errors", "config"},
+    "execution": {"core", "cluster", "lang", "matrix", "blocks", "obs",
+                  "utils", "errors", "config"},
     "baselines": {"core", "operators", "execution", "cluster", "lang",
-                  "matrix", "blocks", "utils", "errors", "config"},
+                  "matrix", "blocks", "obs", "utils", "errors", "config"},
     "serving": {"baselines", "core", "operators", "execution", "cluster",
-                "lang", "matrix", "blocks", "utils", "errors", "config"},
+                "lang", "matrix", "blocks", "obs", "utils", "errors",
+                "config"},
     "datasets": {"matrix", "blocks", "utils", "errors", "config"},
     "workloads": {"serving", "baselines", "core", "operators", "execution",
-                  "cluster", "lang", "matrix", "blocks", "utils", "errors",
-                  "config"},
+                  "cluster", "lang", "matrix", "blocks", "obs", "utils",
+                  "errors", "config"},
 }
 
 #: Files allowed to call ``<something>.stage(...)``: the cluster package

@@ -58,6 +58,17 @@ from repro.matrix import (
     zeros,
 )
 from repro.matrix.io import load_matrix, save_matrix
+from repro.obs import (
+    EventBus,
+    JsonDumpSink,
+    LoggingSink,
+    MemorySink,
+    PrometheusSink,
+    QueryProfile,
+    Span,
+    SpanTracer,
+    UnitProfile,
+)
 from repro.serving import MatrixService, ServedResult, Session
 
 __version__ = "1.0.0"
@@ -72,6 +83,15 @@ __all__ = [
     "Session",
     "FaultPlan",
     "TraceRecorder",
+    "EventBus",
+    "JsonDumpSink",
+    "LoggingSink",
+    "MemorySink",
+    "PrometheusSink",
+    "QueryProfile",
+    "Span",
+    "SpanTracer",
+    "UnitProfile",
     "paper_cluster",
     "FuseMEEngine",
     "SystemDSLikeEngine",

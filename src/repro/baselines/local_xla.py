@@ -10,6 +10,7 @@ models elapsed time as pure single-node computation.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Mapping, Optional
 
 import numpy as np
@@ -18,11 +19,17 @@ from repro.cluster.metrics import MetricsCollector, StageRecord
 from repro.config import EngineConfig
 from repro.core.physical import PhysicalPlan, UnitEstimate, UnitOp
 from repro.errors import TaskOutOfMemoryError
-from repro.execution import ExecutionResult, Query, as_dag
+from repro.execution import (
+    ExecutionResult,
+    Query,
+    as_dag,
+    emit_profile_telemetry,
+)
 from repro.lang.dag import Node
 from repro.lang.interpreter import evaluate_many
 from repro.matrix.distributed import BlockedMatrix
 from repro.matrix.generators import from_numpy
+from repro.obs import EventBus, QueryProfile, SpanTracer, UnitProfile
 
 
 class LocalXLAEngine:
@@ -32,6 +39,10 @@ class LocalXLAEngine:
 
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config or EngineConfig()
+        #: Same telemetry surface as the distributed engines: attach sinks
+        #: to receive query profiles and counters.
+        self.telemetry = EventBus()
+        self.last_profile: Optional[QueryProfile] = None
 
     @property
     def node_memory(self) -> int:
@@ -61,6 +72,23 @@ class LocalXLAEngine:
         """Render the (single-unit) physical plan without executing."""
         return self.lower_query(query, inputs).render()
 
+    def profile(
+        self,
+        query: Query,
+        inputs: Mapping[str, BlockedMatrix],
+        cluster: object = None,
+    ) -> QueryProfile:
+        """Execute *query* and return its accountability report (the same
+        contract as :meth:`repro.execution.Engine.profile`)."""
+        if not self.config.telemetry:
+            raise RuntimeError(
+                "engine.profile() needs telemetry; this engine was built "
+                "with EngineConfig.telemetry=False"
+            )
+        result = self.execute(query, inputs, cluster)
+        assert result.profile is not None
+        return result.profile
+
     def execute(
         self,
         query: Query,
@@ -70,18 +98,39 @@ class LocalXLAEngine:
         dag = as_dag(query)
         dag.validate_inputs(inputs.keys())
 
-        working_set = sum(m.nbytes for m in inputs.values())
-        flops = 0
-        peak = working_set
-        for node in dag.operators():
-            flops += node.estimated_flops()
-            # fused execution still holds each operator's output briefly
-            peak = max(peak, working_set + node.meta.estimated_bytes)
-        if peak > self.node_memory:
-            raise TaskOutOfMemoryError("xla-node", int(peak), self.node_memory)
+        # telemetry is observability only — the modeled numbers and outputs
+        # below are identical whether the tracer exists or not
+        tracer = SpanTracer() if self.config.telemetry else None
+        with (
+            tracer.span("query", "query", engine=self.name)
+            if tracer else nullcontext()
+        ):
+            with (
+                tracer.span("plan", "planning")
+                if tracer else nullcontext()
+            ) as plan_span:
+                physical = self.lower_query(dag)
+            if plan_span is not None:
+                plan_span.attrs.update(cache_hit=False, units=1, waves=1)
 
-        env = {name: matrix.to_numpy() for name, matrix in inputs.items()}
-        arrays = evaluate_many(list(dag.roots), env)
+            with (
+                tracer.span("execute", "execution")
+                if tracer else nullcontext()
+            ) as exec_span:
+                working_set = sum(m.nbytes for m in inputs.values())
+                flops = 0
+                peak = working_set
+                for node in dag.operators():
+                    flops += node.estimated_flops()
+                    # fused execution still holds each operator's output briefly
+                    peak = max(peak, working_set + node.meta.estimated_bytes)
+                if peak > self.node_memory:
+                    raise TaskOutOfMemoryError(
+                        "xla-node", int(peak), self.node_memory
+                    )
+
+                env = {name: matrix.to_numpy() for name, matrix in inputs.items()}
+                arrays = evaluate_many(list(dag.roots), env)
 
         cluster_cfg = self.config.cluster
         seconds = flops / cluster_cfg.compute_bandwidth + cluster_cfg.task_launch_overhead
@@ -95,6 +144,7 @@ class LocalXLAEngine:
                 flops=int(flops),
                 seconds=seconds,
                 peak_task_memory=int(peak),
+                unit=0,
             )
         )
         outputs: Dict[Node, BlockedMatrix] = {}
@@ -102,10 +152,68 @@ class LocalXLAEngine:
             outputs[root] = from_numpy(
                 np.atleast_2d(array), block_size=root.meta.block_size
             )
-        return ExecutionResult(
+        result = ExecutionResult(
             outputs=outputs,
             metrics=metrics,
             fusion_plan=None,
             dag=dag,
-            physical_plan=self.lower_query(dag),
+            physical_plan=physical,
+        )
+        if tracer is not None:
+            result.profile = self._build_profile(
+                physical, metrics, tracer, exec_span, seconds, result
+            )
+            self.last_profile = result.profile
+            emit_profile_telemetry(self.telemetry, result.profile)
+        return result
+
+    def _build_profile(
+        self,
+        physical: PhysicalPlan,
+        metrics: MetricsCollector,
+        tracer: SpanTracer,
+        exec_span,
+        seconds: float,
+        result: ExecutionResult,
+    ) -> QueryProfile:
+        span = tracer.root
+        span.modeled_start = exec_span.modeled_start = 0.0
+        span.modeled_end = exec_span.modeled_end = seconds
+        op = physical.ops[0]
+        record = metrics.stages[0]
+        unit_span = exec_span.child(
+            "unit[0]", "unit", kind=op.kind, label=op.label()
+        )
+        unit_span.wall_start = exec_span.wall_start
+        unit_span.wall_end = exec_span.wall_end
+        unit_span.modeled_start, unit_span.modeled_end = 0.0, seconds
+        stage_span = unit_span.child(
+            record.name,
+            "stage",
+            num_tasks=record.num_tasks,
+            comm_bytes=record.comm_bytes,
+            flops=record.flops,
+        )
+        stage_span.modeled_start, stage_span.modeled_end = 0.0, seconds
+        est = op.estimate
+        unit = UnitProfile(
+            index=0,
+            kind=op.kind,
+            label=op.label(),
+            predicted_net_bytes=est.net_bytes,
+            predicted_flops=est.flops,
+            measured_seconds=seconds,
+            measured_comm_bytes=float(record.comm_bytes),
+            measured_flops=float(record.flops),
+            num_stages=1,
+            num_tasks=record.num_tasks,
+        )
+        return QueryProfile(
+            engine=self.name,
+            units=(unit,),
+            totals=metrics.totals(),
+            counters=dict(metrics.counters),
+            span=span,
+            wall_seconds=span.wall_seconds,
+            result=result,
         )

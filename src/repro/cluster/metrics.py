@@ -100,62 +100,83 @@ class MetricsCollector:
                 self.counters[counter] = value
 
     def counter(self, name: str) -> int:
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     # -- totals -----------------------------------------------------------
+    #
+    # Every read goes through a lock-consistent snapshot: pool threads
+    # (``local_parallelism > 1``) may be appending stages / bumping counters
+    # while the driver reads, and iterating a mutating dict raises.
+
+    def _stages_view(self) -> list[StageRecord]:
+        with self._lock:
+            return list(self.stages)
+
+    def _counters_view(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.counters)
 
     @property
     def consolidation_bytes(self) -> int:
-        return sum(s.consolidation_bytes for s in self.stages)
+        return sum(s.consolidation_bytes for s in self._stages_view())
 
     @property
     def aggregation_bytes(self) -> int:
-        return sum(s.aggregation_bytes for s in self.stages)
+        return sum(s.aggregation_bytes for s in self._stages_view())
 
     @property
     def comm_bytes(self) -> int:
-        """Paper's communication cost: consolidation + aggregation traffic."""
-        return self.consolidation_bytes + self.aggregation_bytes
+        """Paper's communication cost: consolidation + aggregation traffic.
+
+        Summed from one snapshot — composing the two byte properties would
+        read two different snapshots under concurrent recording.
+        """
+        return sum(
+            s.consolidation_bytes + s.aggregation_bytes
+            for s in self._stages_view()
+        )
 
     @property
     def flops(self) -> int:
-        return sum(s.flops for s in self.stages)
+        return sum(s.flops for s in self._stages_view())
 
     @property
     def elapsed_seconds(self) -> float:
         """Modeled end-to-end elapsed time (stages are sequential)."""
-        return sum(s.seconds for s in self.stages)
+        return sum(s.seconds for s in self._stages_view())
 
     @property
     def peak_task_memory(self) -> int:
-        return max((s.peak_task_memory for s in self.stages), default=0)
+        return max((s.peak_task_memory for s in self._stages_view()), default=0)
 
     @property
     def num_stages(self) -> int:
-        return len(self.stages)
+        with self._lock:
+            return len(self.stages)
 
     @property
     def num_tasks(self) -> int:
-        return sum(s.num_tasks for s in self.stages)
+        return sum(s.num_tasks for s in self._stages_view())
 
     @property
     def num_attempts(self) -> int:
         """Task attempts including retries (== num_tasks without faults)."""
-        return sum(s.attempts for s in self.stages)
+        return sum(s.attempts for s in self._stages_view())
 
     @property
     def num_retries(self) -> int:
-        return sum(s.retries for s in self.stages)
+        return sum(s.retries for s in self._stages_view())
 
     @property
     def num_aborted_stages(self) -> int:
         """Stages whose body raised (O.O.M. / timeout) before closing."""
-        return sum(1 for s in self.stages if s.aborted)
+        return sum(1 for s in self._stages_view() if s.aborted)
 
     @property
     def max_skew_ratio(self) -> float:
         """Worst per-stage load imbalance seen during the run."""
-        return max((s.skew_ratio for s in self.stages), default=1.0)
+        return max((s.skew_ratio for s in self._stages_view()), default=1.0)
 
     def per_unit_totals(self) -> Dict[int, Dict[str, object]]:
         """Modeled totals grouped by physical-plan unit index.
@@ -164,7 +185,7 @@ class MetricsCollector:
         skipped; keys are unit indices in ascending order.
         """
         grouped: Dict[int, list[StageRecord]] = {}
-        for stage in self.stages:
+        for stage in self._stages_view():
             if stage.unit is not None:
                 grouped.setdefault(stage.unit, []).append(stage)
         return {
@@ -183,17 +204,21 @@ class MetricsCollector:
     def totals(self) -> Dict[str, object]:
         """Every modeled total as one dict (counters excluded on purpose:
         they may legitimately differ between runs whose modeled behaviour
-        is identical)."""
+        is identical).  Computed from a single snapshot so the values are
+        mutually consistent even while stages are being recorded."""
+        stages = self._stages_view()
         return {
-            "num_stages": self.num_stages,
-            "num_tasks": self.num_tasks,
-            "num_attempts": self.num_attempts,
-            "consolidation_bytes": self.consolidation_bytes,
-            "aggregation_bytes": self.aggregation_bytes,
-            "flops": self.flops,
-            "elapsed_seconds": self.elapsed_seconds,
-            "peak_task_memory": self.peak_task_memory,
-            "num_aborted_stages": self.num_aborted_stages,
+            "num_stages": len(stages),
+            "num_tasks": sum(s.num_tasks for s in stages),
+            "num_attempts": sum(s.attempts for s in stages),
+            "consolidation_bytes": sum(s.consolidation_bytes for s in stages),
+            "aggregation_bytes": sum(s.aggregation_bytes for s in stages),
+            "flops": sum(s.flops for s in stages),
+            "elapsed_seconds": sum(s.seconds for s in stages),
+            "peak_task_memory": max(
+                (s.peak_task_memory for s in stages), default=0
+            ),
+            "num_aborted_stages": sum(1 for s in stages if s.aborted),
         }
 
     def reset(self) -> None:
@@ -213,25 +238,24 @@ class MetricsCollector:
         :meth:`totals` plus a ``"counters"`` sub-dict.  This is the public
         embedding surface — ``service.status()`` and log lines include it
         verbatim instead of reaching into fields."""
-        with self._lock:
-            counters = dict(self.counters)
         snap = self.totals()
-        snap["counters"] = counters
+        snap["counters"] = self._counters_view()
         return snap
 
     def diff_since(self, baseline: "MetricsCollector") -> "MetricsCollector":
         """Metrics accumulated after the :meth:`copy` *baseline* was taken."""
+        with self._lock:
+            stages = self.stages[len(baseline.stages):]
+            counters = dict(self.counters)
         deltas = {
             name: value - baseline.counters.get(name, 0)
-            for name, value in self.counters.items()
+            for name, value in counters.items()
             if value != baseline.counters.get(name, 0)
         }
-        return MetricsCollector(
-            stages=self.stages[baseline.num_stages:], counters=deltas
-        )
+        return MetricsCollector(stages=stages, counters=deltas)
 
     def __iter__(self) -> Iterator[StageRecord]:
-        return iter(self.stages)
+        return iter(self._stages_view())
 
     def summary(self) -> str:
         from repro.utils.formatting import format_bytes, format_seconds

@@ -118,6 +118,67 @@ class TraceRecorder:
                 )
             )
 
+    def instant(
+        self,
+        name: str,
+        category: str,
+        ts: float,
+        tid: int = 0,
+        **args: Any,
+    ) -> None:
+        """A zero-duration marker on the driver row (cache hits, phases)."""
+        self.record(
+            TraceEvent(
+                name=name,
+                category=category,
+                phase="i",
+                ts=ts,
+                pid=DRIVER_PID,
+                tid=tid,
+                args=args,
+            )
+        )
+
+    def span_tree(self, span: Any, epoch: float, tid: int = 1) -> None:
+        """Export a :class:`repro.obs.span.Span` tree as driver-row events.
+
+        Spans that ran cluster stages carry *modeled* timestamps and land
+        directly on the modeled timeline; pure planner phases (parse, plan,
+        lower) only have wall-clock offsets, which are re-anchored so the
+        tree's root starts at modeled second ``epoch`` — putting planning
+        on the same timeline as the stages it produced.  ``tid`` picks the
+        driver thread row (row 0 holds stage/transfer events).
+        """
+        base = span.wall_start
+
+        def _emit(node: Any) -> None:
+            if node.modeled_start is not None and node.modeled_end is not None:
+                start, end = node.modeled_start, node.modeled_end
+            else:
+                wall_end = node.wall_end
+                if wall_end is None:
+                    wall_end = node.wall_start
+                start = epoch + (node.wall_start - base)
+                end = epoch + (wall_end - base)
+            args = {k: v for k, v in node.attrs.items()}
+            args["category"] = node.category
+            self.record(
+                TraceEvent(
+                    name=node.name,
+                    category="span",
+                    phase="X",
+                    ts=start,
+                    duration=max(0.0, end - start),
+                    pid=DRIVER_PID,
+                    tid=tid,
+                    args=args,
+                )
+            )
+            for child in node.children:
+                _emit(child)
+
+        _emit(span)
+
     def transfer(
         self, stage_name: str, ts: float, consolidation: int, aggregation: int
     ) -> None:

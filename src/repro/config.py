@@ -132,6 +132,11 @@ class EngineConfig:
     #: traffic is unaffected; False forces the pre-fast-path copies (for
     #: A/B wall-clock measurements).
     slice_reuse: bool = True
+    #: Build per-query span trees + cost-model accountability profiles
+    #: (:mod:`repro.obs`).  Observability only: modeled numbers and matrix
+    #: outputs are bit-identical at either setting; False removes even the
+    #: bookkeeping wall-clock for overhead A/B runs.
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:

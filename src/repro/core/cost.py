@@ -66,12 +66,24 @@ class CostModel:
         self.config = config
         self._memo: dict = {}
         self._pins: dict = {}
+        #: Memo telemetry (surfaced through ``OptimizerResult``); purely
+        #: observational, never part of a cost.
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def _pin(self, obj) -> int:
         key = id(obj)
         if key not in self._pins:
             self._pins[key] = obj
         return key
+
+    def _memo_get(self, key):
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+        else:
+            self.memo_misses += 1
+        return cached
 
     # -- public entry points ------------------------------------------------
 
@@ -83,7 +95,7 @@ class CostModel:
     ) -> PlanCost:
         """Full cost of executing *plan* with the given partitioning."""
         key = ("evaluate", self._pin(plan), self._pin(tree), pqr)
-        cached = self._memo.get(key)
+        cached = self._memo_get(key)
         if cached is not None:
             return cached
         result = self._evaluate(plan, tree, pqr)
@@ -130,7 +142,7 @@ class CostModel:
     ) -> float:
         """Estimated memory per task, Algorithm 1 + the plan output tile."""
         key = ("mem", self._pin(plan), self._pin(tree), pqr)
-        cached = self._memo.get(key)
+        cached = self._memo_get(key)
         if cached is not None:
             return cached
         total = self._mem_tree(tree, pqr)
@@ -176,7 +188,7 @@ class CostModel:
         """
         key = ("net", self._pin(tree), pqr, include_aggregation,
                outer_output_bytes)
-        cached = self._memo.get(key)
+        cached = self._memo_get(key)
         if cached is not None:
             return cached
         total = self._net_tree(tree, pqr, multiplier=1.0,
@@ -196,7 +208,7 @@ class CostModel:
         from repro.core.spaces import find_sparsity_mask
 
         key = ("agg_tile", self._pin(plan), self._pin(tree))
-        cached = self._memo.get(key)
+        cached = self._memo_get(key)
         if cached is not None:
             return cached
         full = tree.mm.meta.estimated_bytes
@@ -243,7 +255,7 @@ class CostModel:
     def com_est(self, tree: SpaceTree, pqr: tuple[int, int, int]) -> float:
         """Estimated floating point operations for the whole cluster."""
         key = ("com", self._pin(tree), pqr)
-        cached = self._memo.get(key)
+        cached = self._memo_get(key)
         if cached is not None:
             return cached
         total = self._com_tree(tree, pqr, multiplier=1.0)

@@ -70,6 +70,19 @@ class FuseMEEngine(Engine):
     def planning_signature(self) -> tuple:
         return super().planning_signature() + (self.optimizer_method,)
 
+    def planning_attrs(self):
+        """CFG/exploitation counters for the planning span.
+
+        ``last_report`` is None on a plan-cache hit (``plan_query`` never
+        ran), so the span then carries only the method — the hit itself is
+        already an attribute of the plan span.
+        """
+        attrs = {"optimizer_method": self.optimizer_method}
+        if self.last_report is not None:
+            attrs["exploitation_splits"] = self.last_report.splits
+            attrs["plans_examined"] = self.last_report.examined
+        return attrs
+
     def plan_query(self, dag: DAG) -> FusionPlan:
         self.last_report = ExploitationReport()
         return generate_fusion_plan(dag, self.config, report=self.last_report)

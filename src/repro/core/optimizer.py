@@ -37,10 +37,21 @@ class OptimizerResult:
     evaluations: int
     elapsed_seconds: float
     method: SearchMethod
+    #: Size of the full ``(P, Q, R)`` candidate space (``I * J * K``).
+    candidates: int = 0
+    #: Cost-model memo hits/misses during this search (wall-clock telemetry
+    #: only; evaluation counts are tallied by the search itself).
+    memo_hits: int = 0
+    memo_misses: int = 0
 
     @property
     def feasible(self) -> bool:
         return self.cost.feasible
+
+    @property
+    def pruned(self) -> int:
+        """Candidates the search never had to evaluate."""
+        return max(0, self.candidates - self.evaluations)
 
 
 def optimize_parameters(
@@ -83,6 +94,9 @@ def optimize_parameters(
         evaluations=evaluations,
         elapsed_seconds=elapsed,
         method=method,
+        candidates=extent_i * extent_j * extent_k,
+        memo_hits=model.memo_hits,
+        memo_misses=model.memo_misses,
     )
 
 

@@ -39,6 +39,7 @@ stage records differ.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -333,6 +334,7 @@ def run_physical_plan(
     cluster,
     env: Dict[EnvKey, object],
     parallelism: int = 1,
+    unit_observer: Optional[Callable[[UnitOp, float, float], None]] = None,
 ) -> None:
     """Execute *physical* on *cluster*, materializing unit outputs into *env*.
 
@@ -345,12 +347,22 @@ def run_physical_plan(
 
     During a wave *env* is only read (all writes happen at the merge
     barrier), which is what makes concurrent unit execution safe.
+
+    *unit_observer* (telemetry) is called as ``observer(op, wall_start,
+    wall_end)`` after each completed unit — wall-clock only, so attaching
+    one can never change a modeled number.  It may be called from pool
+    threads; the engine's observer writes one dict slot per unit index.
     """
     metrics = cluster.metrics
 
     def run_op(op: UnitOp):
         with cluster.unit_scope(op.index):
-            return engine.run_unit(op, cluster, env)
+            if unit_observer is None:
+                return engine.run_unit(op, cluster, env)
+            wall_start = time.perf_counter()
+            result = engine.run_unit(op, cluster, env)
+            unit_observer(op, wall_start, time.perf_counter())
+            return result
 
     def merge(op: UnitOp, result) -> None:
         if isinstance(result, dict):

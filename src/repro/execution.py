@@ -17,14 +17,23 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.cluster.executor import SimulatedCluster
 from repro.cluster.metrics import MetricsCollector
 from repro.cluster.slice_cache import SliceCache
 from repro.cluster.runtime import TraceRecorder
 from repro.config import EngineConfig
+from repro.obs import (
+    EventBus,
+    QueryProfile,
+    Span,
+    SpanTracer,
+    TelemetryEvent,
+    UnitProfile,
+)
 from repro.core.physical import (
     PhysicalPlan,
     UnitAnnotation,
@@ -67,6 +76,10 @@ class ExecutionResult:
     #: The lowered unit graph this query executed through (None only for
     #: hand-built results).
     physical_plan: Optional[PhysicalPlan] = None
+    #: Cost-model accountability report + span tree (None when
+    #: ``EngineConfig.telemetry`` is off).  ``profile.render()`` is the
+    #: engine's EXPLAIN ANALYZE.
+    profile: Optional[QueryProfile] = None
 
     def __post_init__(self) -> None:
         if self.dag is None and self.fusion_plan is not None:
@@ -117,6 +130,13 @@ class Engine(ABC):
         #: concurrent submitters (the serving layer) take turns; intra-query
         #: parallelism still comes from ``config.local_parallelism``.
         self._execute_lock = threading.RLock()
+        #: Telemetry fan-out: attach sinks (``repro.obs``) to receive query
+        #: profiles, span trees and counters.  With no sinks attached the
+        #: emit path is a single attribute check.
+        self.telemetry = EventBus()
+        #: The most recent query's :class:`QueryProfile` (None before the
+        #: first execute or with ``config.telemetry=False``).
+        self.last_profile: Optional[QueryProfile] = None
 
     # -- subclass hooks --------------------------------------------------------
 
@@ -190,6 +210,15 @@ class Engine(ABC):
             config.overlap_comm_compute,
             config.sparse_threshold,
         )
+
+    def planning_attrs(self) -> Dict[str, Any]:
+        """Engine-specific attributes attached to the planning span.
+
+        Called right after planning/lowering (so per-query planner state —
+        e.g. FuseME's exploitation report — is fresh).  Values must be
+        plain data; the base engine has nothing to add.
+        """
+        return {}
 
     # -- planning / lowering ----------------------------------------------------
 
@@ -275,6 +304,28 @@ class Engine(ABC):
         with self._execute_lock:
             return self._execute(dag, inputs, cluster)
 
+    def profile(
+        self,
+        query: Query,
+        inputs: Mapping[str, BlockedMatrix],
+        cluster: Optional[SimulatedCluster] = None,
+    ) -> QueryProfile:
+        """Execute *query* and return its cost-model accountability report.
+
+        The engine's EXPLAIN ANALYZE: per-unit predicted-vs-measured net
+        bytes / flops / modeled seconds with relative errors, the query's
+        span tree, and the fast-path counters.  The underlying
+        :class:`ExecutionResult` rides along as ``profile.result``.
+        """
+        if not self.config.telemetry:
+            raise RuntimeError(
+                "engine.profile() needs telemetry; this engine was built "
+                "with EngineConfig.telemetry=False"
+            )
+        result = self.execute(query, inputs, cluster)
+        assert result.profile is not None
+        return result.profile
+
     def _execute(
         self,
         dag: DAG,
@@ -290,34 +341,161 @@ class Engine(ABC):
         slice_hits0 = self.slice_cache.hits
         slice_misses0 = self.slice_cache.misses
 
-        dag, physical, cache_hit = self._plan_physical(dag)
-        if self.plan_cache.enabled:
-            cluster.metrics.bump(
-                "plan_cache_hits" if cache_hit else "plan_cache_misses"
-            )
+        # telemetry is observability only: every modeled number and matrix
+        # output below is bit-identical whether the tracer exists or not
+        tracer = SpanTracer() if self.config.telemetry else None
+        modeled_epoch = cluster.metrics.elapsed_seconds
+        plan_span: Optional[Span] = None
+        exec_span: Optional[Span] = None
+        unit_walls: Dict[int, Tuple[float, float]] = {}
 
-        env: Dict[object, BlockedMatrix] = dict(inputs)
-        try:
-            run_physical_plan(
-                self, physical, cluster, env,
-                parallelism=self.config.local_parallelism,
-            )
-        finally:
-            slices = cluster.slice_cache
-            hit_delta = slices.hits - slice_hits0
-            miss_delta = slices.misses - slice_misses0
-            if hit_delta or miss_delta:
-                cluster.metrics.bump("slice_cache_hits", hit_delta)
-                cluster.metrics.bump("slice_cache_misses", miss_delta)
+        with (
+            tracer.span("query", "query", engine=self.name)
+            if tracer else nullcontext()
+        ):
+            with (
+                tracer.span("plan", "planning")
+                if tracer else nullcontext()
+            ) as plan_span:
+                dag, physical, cache_hit = self._plan_physical(dag)
+            if self.plan_cache.enabled:
+                cluster.metrics.bump(
+                    "plan_cache_hits" if cache_hit else "plan_cache_misses"
+                )
+                if cluster.trace is not None:
+                    cluster.trace.instant(
+                        "plan_cache:" + ("hit" if cache_hit else "miss"),
+                        "cache",
+                        ts=modeled_epoch,
+                        engine=self.name,
+                        units=len(physical.ops),
+                    )
+            optimizer_counters = _optimizer_counters(physical)
+            if plan_span is not None:
+                plan_span.attrs.update(
+                    cache_hit=cache_hit,
+                    units=len(physical.ops),
+                    waves=len(physical.waves()),
+                    **optimizer_counters,
+                    **self.planning_attrs(),
+                )
+
+            observer = None
+            if tracer is not None:
+                def observer(op, wall_start, wall_end):
+                    unit_walls[op.index] = (wall_start, wall_end)
+
+            env: Dict[object, BlockedMatrix] = dict(inputs)
+            with (
+                tracer.span("execute", "execution")
+                if tracer else nullcontext()
+            ) as exec_span:
+                try:
+                    run_physical_plan(
+                        self, physical, cluster, env,
+                        parallelism=self.config.local_parallelism,
+                        unit_observer=observer,
+                    )
+                finally:
+                    slices = cluster.slice_cache
+                    hit_delta = slices.hits - slice_hits0
+                    miss_delta = slices.misses - slice_misses0
+                    if hit_delta or miss_delta:
+                        cluster.metrics.bump("slice_cache_hits", hit_delta)
+                        cluster.metrics.bump("slice_cache_misses", miss_delta)
+                        if cluster.trace is not None:
+                            cluster.trace.instant(
+                                "slice_cache",
+                                "cache",
+                                ts=cluster.metrics.elapsed_seconds,
+                                hits=hit_delta,
+                                misses=miss_delta,
+                            )
 
         outputs = {root: self._root_value(root, env, inputs) for root in dag.roots}
-        return ExecutionResult(
+        metrics = cluster.metrics.diff_since(baseline)
+
+        span = None
+        if tracer is not None:
+            span = tracer.root
+            _attach_unit_spans(
+                exec_span, physical, metrics, unit_walls, modeled_epoch
+            )
+            modeled_end = modeled_epoch + metrics.elapsed_seconds
+            span.modeled_start = modeled_epoch
+            span.modeled_end = modeled_end
+            exec_span.modeled_start = modeled_epoch
+            exec_span.modeled_end = modeled_end
+            if cluster.trace is not None:
+                # planner/unit spans join the stage events on the driver's
+                # span row — must happen before query_trace() slices
+                cluster.trace.span_tree(span, epoch=modeled_epoch)
+
+        result = ExecutionResult(
             outputs=outputs,
-            metrics=cluster.metrics.diff_since(baseline),
+            metrics=metrics,
             fusion_plan=physical.fusion_plan,
             trace=cluster.query_trace(),
             physical_plan=physical,
         )
+        if tracer is not None:
+            profile = self._build_profile(
+                physical, metrics, optimizer_counters, span, result
+            )
+            result.profile = profile
+            self.last_profile = profile
+            self._emit_telemetry(profile)
+        return result
+
+    def _build_profile(
+        self,
+        physical: PhysicalPlan,
+        metrics: MetricsCollector,
+        optimizer_counters: Mapping[str, int],
+        span: Span,
+        result: ExecutionResult,
+    ) -> QueryProfile:
+        per_unit = metrics.per_unit_totals()
+        units = []
+        for op in physical.ops:
+            totals = per_unit.get(op.index, {})
+            est = op.estimate
+            units.append(UnitProfile(
+                index=op.index,
+                kind=op.kind,
+                label=op.label(),
+                pqr=op.pqr,
+                predicted_seconds=(
+                    est.seconds if est is not None else None
+                ),
+                predicted_net_bytes=(
+                    est.net_bytes if est is not None else None
+                ),
+                predicted_flops=est.flops if est is not None else None,
+                predicted_mem_bytes=(
+                    est.mem_bytes_per_task if est is not None else None
+                ),
+                measured_seconds=float(totals.get("elapsed_seconds", 0.0)),
+                measured_comm_bytes=float(totals.get("comm_bytes", 0)),
+                measured_flops=float(totals.get("flops", 0)),
+                num_stages=int(totals.get("num_stages", 0)),
+                num_tasks=int(totals.get("num_tasks", 0)),
+            ))
+        counters = dict(metrics.counters)
+        counters.update(optimizer_counters)
+        return QueryProfile(
+            engine=self.name,
+            units=tuple(units),
+            totals=metrics.totals(),
+            counters=counters,
+            span=span,
+            wall_seconds=span.wall_seconds,
+            result=result,
+        )
+
+    def _emit_telemetry(self, profile: QueryProfile) -> None:
+        """Fan the finished query's telemetry out to attached sinks."""
+        emit_profile_telemetry(self.telemetry, profile)
 
     @staticmethod
     def _root_value(
@@ -342,7 +520,9 @@ class Engine(ABC):
         return value
 
     @staticmethod
-    def _check_bindings(dag: DAG, inputs: Mapping[str, BlockedMatrix]) -> None:
+    def _check_bindings(
+        dag: DAG, inputs: Mapping[str, BlockedMatrix]
+    ) -> None:
         for leaf in dag.inputs():
             value = inputs.get(leaf.name)
             if value is None:
@@ -357,3 +537,93 @@ class Engine(ABC):
                     f"input {leaf.name!r} uses block size {value.block_size}, "
                     f"the query declared {leaf.meta.block_size}"
                 )
+
+
+def emit_profile_telemetry(bus: EventBus, profile: QueryProfile) -> None:
+    """Emit a finished query's profile to *bus*: one counter event per
+    total and per fast-path counter, plus the full profile document.
+
+    Shared by every engine (including baselines that don't subclass
+    :class:`Engine`), so sinks see one uniform event vocabulary.
+    """
+    if not bus.active:
+        return
+    engine = profile.engine
+    bus.emit_counters("engine.totals", profile.totals, engine=engine)
+    bus.emit_counters("engine.counters", profile.counters, engine=engine)
+    bus.emit(TelemetryEvent(
+        name="query.profile",
+        kind="profile",
+        value=profile.measured_seconds,
+        attrs={"engine": engine, "profile": profile.to_dict()},
+    ))
+
+
+def _optimizer_counters(physical: PhysicalPlan) -> Dict[str, int]:
+    """Cuboid-search totals summed over the plan's units.
+
+    ``cuboids_enumerated`` is the size of the full candidate spaces,
+    ``cuboids_evaluated`` what the searches actually costed out, and
+    ``cuboids_pruned`` their difference — the Figure 13(d) story as
+    counters.  Empty for plans that ran no parameter search.
+    """
+    results = [
+        op.optimizer_result
+        for op in physical.ops
+        if op.optimizer_result is not None
+    ]
+    if not results:
+        return {}
+    return {
+        "cuboids_enumerated": sum(r.candidates for r in results),
+        "cuboids_evaluated": sum(r.evaluations for r in results),
+        "cuboids_pruned": sum(r.pruned for r in results),
+        "cost_memo_hits": sum(r.memo_hits for r in results),
+        "cost_memo_misses": sum(r.memo_misses for r in results),
+    }
+
+
+def _attach_unit_spans(
+    exec_span: Span,
+    physical: PhysicalPlan,
+    metrics: MetricsCollector,
+    unit_walls: Mapping[int, Tuple[float, float]],
+    modeled_epoch: float,
+) -> None:
+    """Grow the execute span: one child per unit, one grandchild per stage.
+
+    Stage records are sequential on the modeled clock (wave dispatch
+    re-sorts them into unit order), so walking them while accumulating
+    seconds reconstructs each stage's modeled ``[start, end]`` window.
+    Wall times come from the unit observer; stages carry modeled time only.
+    """
+    clock = modeled_epoch
+    windows: Dict[int, list] = {}
+    for record in metrics.stages:
+        start, clock = clock, clock + record.seconds
+        if record.unit is not None:
+            windows.setdefault(record.unit, []).append((record, start, clock))
+
+    for op in physical.ops:
+        unit_span = exec_span.child(
+            f"unit[{op.index}]", "unit", kind=op.kind, label=op.label()
+        )
+        if op.pqr is not None:
+            unit_span.attrs["pqr"] = op.pqr
+        wall = unit_walls.get(op.index)
+        if wall is not None:
+            unit_span.wall_start, unit_span.wall_end = wall
+        stage_windows = windows.get(op.index, [])
+        if stage_windows:
+            unit_span.modeled_start = stage_windows[0][1]
+            unit_span.modeled_end = stage_windows[-1][2]
+        for record, start, end in stage_windows:
+            stage_span = unit_span.child(
+                record.name,
+                "stage",
+                num_tasks=record.num_tasks,
+                comm_bytes=record.comm_bytes,
+                flops=record.flops,
+            )
+            stage_span.modeled_start = start
+            stage_span.modeled_end = end

@@ -1,0 +1,129 @@
+"""A tiny telemetry event bus with pluggable sinks.
+
+Producers (engine, serving layer, benchmarks) emit
+:class:`TelemetryEvent` records — plain name/kind/value/attrs data — and
+the :class:`EventBus` fans each one out to every attached :class:`Sink`.
+Telemetry must never take a query down, so a sink that raises is detached
+and logged instead of propagating into the execute path.
+
+With no sinks attached, :meth:`EventBus.emit` is a single attribute check —
+the default configuration pays essentially nothing.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+logger = logging.getLogger("repro.obs")
+
+#: Event kinds understood by the bundled sinks.
+EVENT_KINDS = ("counter", "gauge", "event", "profile", "span")
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One telemetry record: a named value with free-form attributes."""
+
+    name: str
+    kind: str = "event"
+    value: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "value": self.value,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Sink:
+    """Base sink: receives events; subclasses override :meth:`emit`."""
+
+    def emit(self, event: TelemetryEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; called by :meth:`EventBus.close`."""
+
+
+class EventBus:
+    """Fans telemetry events out to attached sinks (thread-safe).
+
+    Emission order per sink matches emission order on the bus; sinks that
+    raise are detached (telemetry is best-effort, queries must not fail
+    because an exporter did).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sinks: List[Sink] = []
+
+    @property
+    def sinks(self) -> List[Sink]:
+        with self._lock:
+            return list(self._sinks)
+
+    @property
+    def active(self) -> bool:
+        """True when at least one sink is attached (cheap emit guard)."""
+        return bool(self._sinks)
+
+    def attach(self, sink: Sink) -> Sink:
+        with self._lock:
+            self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if not self._sinks:
+            return
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink.emit(event)
+            except Exception:  # noqa: BLE001 - telemetry is best-effort
+                logger.exception(
+                    "telemetry sink %r failed; detaching it", sink
+                )
+                self.detach(sink)
+
+    def emit_counters(
+        self,
+        prefix: str,
+        counters: Mapping[str, Any],
+        **attrs: Any,
+    ) -> None:
+        """Emit one counter event per ``name -> numeric value`` entry."""
+        if not self._sinks:
+            return
+        for name in sorted(counters):
+            value = counters[name]
+            if isinstance(value, (int, float)):
+                self.emit(TelemetryEvent(
+                    name=f"{prefix}.{name}",
+                    kind="counter",
+                    value=float(value),
+                    attrs=dict(attrs),
+                ))
+
+    def close(self) -> None:
+        with self._lock:
+            sinks, self._sinks = self._sinks, []
+        for sink in sinks:
+            try:
+                sink.close()
+            except Exception:  # noqa: BLE001 - closing is best-effort too
+                logger.exception("telemetry sink %r failed to close", sink)
+
+    def __repr__(self) -> str:
+        return f"EventBus({len(self._sinks)} sink(s))"

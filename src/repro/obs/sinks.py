@@ -1,0 +1,87 @@
+"""Bundled telemetry sinks: structured log, in-memory, JSON dump.
+
+Every sink consumes plain :class:`~repro.obs.bus.TelemetryEvent` data, so
+they work identically whether the producer was the engine, the serving
+layer, or a benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Dict, List, Optional
+
+from repro.obs.bus import Sink, TelemetryEvent
+
+
+class LoggingSink(Sink):
+    """Writes one structured log line per event.
+
+    The line is ``<name> <kind> value=<v> <k>=<v>...`` with attribute keys
+    sorted — grep-friendly and stable for log-based assertions.
+    """
+
+    def __init__(
+        self,
+        logger: Optional[logging.Logger] = None,
+        level: int = logging.INFO,
+    ):
+        self._logger = logger or logging.getLogger("repro.obs")
+        self._level = level
+
+    def emit(self, event: TelemetryEvent) -> None:
+        parts = [event.name, event.kind]
+        if event.value is not None:
+            parts.append(f"value={event.value:g}")
+        for key in sorted(event.attrs):
+            parts.append(f"{key}={event.attrs[key]}")
+        self._logger.log(self._level, "%s", " ".join(parts))
+
+
+class MemorySink(Sink):
+    """Keeps every event in a list (tests and interactive inspection)."""
+
+    def __init__(self) -> None:
+        self.events: List[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def named(self, name: str) -> List[TelemetryEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonDumpSink(Sink):
+    """Accumulates events and dumps them as one JSON document.
+
+    Benchmarks attach one, run their workload, then :meth:`dump` the
+    collected telemetry next to their other artifacts.  When *path* is
+    given, :meth:`close` (called by ``EventBus.close``) writes the file.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event.to_dict())
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps({"events": self.events}, indent=indent, default=str)
+
+    def dump(self, path: Optional[str] = None) -> None:
+        target = path or self.path
+        if target is None:
+            raise ValueError("JsonDumpSink needs a path to dump to")
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    def close(self) -> None:
+        if self.path is not None:
+            self.dump()

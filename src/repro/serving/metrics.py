@@ -100,6 +100,9 @@ class ServiceMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._tenants: Dict[str, TenantStats] = {}
+        #: Per-tenant end-to-end latency (fair-sharing visibility: a noisy
+        #: neighbour shows up in *other* tenants' percentiles).
+        self._tenant_latency: Dict[str, LatencyHistogram] = {}
         #: Wall-clock seconds queries spent waiting for admission.
         self.queue_wait = LatencyHistogram()
         #: Wall-clock seconds from submit to completion (queue + run).
@@ -112,6 +115,12 @@ class ServiceMetrics:
         if stats is None:
             stats = self._tenants[tenant] = TenantStats()
         return stats
+
+    def _tenant_hist(self, tenant: str) -> LatencyHistogram:
+        hist = self._tenant_latency.get(tenant)
+        if hist is None:
+            hist = self._tenant_latency[tenant] = LatencyHistogram()
+        return hist
 
     # -- recording --------------------------------------------------------
 
@@ -133,6 +142,7 @@ class ServiceMetrics:
                 stats.cache_hits += 1
             self.queue_wait.record(queue_seconds)
             self.latency.record(total_seconds)
+            self._tenant_hist(tenant).record(total_seconds)
             self.completed += 1
 
     def record_shed(self, tenant: str) -> None:
@@ -167,10 +177,13 @@ class ServiceMetrics:
     def snapshot(self) -> Dict[str, object]:
         """Everything observed, as one plain dict."""
         with self._lock:
-            tenants = {
-                name: stats.snapshot()
-                for name, stats in sorted(self._tenants.items())
-            }
+            tenants: Dict[str, Dict[str, object]] = {}
+            for name, stats in sorted(self._tenants.items()):
+                tenant_snap: Dict[str, object] = dict(stats.snapshot())
+                hist = self._tenant_latency.get(name)
+                if hist is not None:
+                    tenant_snap["latency"] = hist.snapshot()
+                tenants[name] = tenant_snap
             queue_wait = self.queue_wait.snapshot()
             latency = self.latency.snapshot()
             completed = self.completed

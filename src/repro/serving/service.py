@@ -54,6 +54,13 @@ from repro.errors import (
 )
 from repro.execution import Engine, ExecutionResult, Query, as_dag
 from repro.matrix.distributed import BlockedMatrix
+from repro.obs import QueryProfile
+from repro.obs.prometheus import (
+    cache_families,
+    engine_families,
+    render_exposition,
+    serving_families,
+)
 from repro.serving.admission import AdmissionController, estimate_query_bytes
 from repro.serving.metrics import ServiceMetrics
 from repro.serving.result_cache import ResultCache, result_key
@@ -304,6 +311,29 @@ class MatrixService:
         dag.validate_inputs(bound.keys())
         return self.engine.explain(dag, bound)
 
+    def profile(
+        self,
+        session: Session,
+        query: Query,
+        inputs: Optional[Mapping[str, BlockedMatrix]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> QueryProfile:
+        """Execute *query* through the normal admission path and return its
+        cost-model accountability report (``profile.result`` carries the
+        :class:`ExecutionResult`).  A result-cache hit returns the profile
+        captured when the cached entry originally executed.
+        """
+        if not self.engine.config.telemetry:
+            raise RuntimeError(
+                "service.profile() needs telemetry; the engine was built "
+                "with EngineConfig.telemetry=False"
+            )
+        served = self.execute(session, query, inputs, priority, timeout)
+        profile = served.result.profile
+        assert profile is not None
+        return profile
+
     # -- dispatch ---------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -403,6 +433,20 @@ class MatrixService:
             cluster=self.cluster.metrics.snapshot(),
         )
         return snap
+
+    def prometheus(self) -> str:
+        """The whole service as one Prometheus text exposition page:
+        engine stage totals and counters, all three cache layers, and
+        per-tenant query outcomes + latency quantiles."""
+        status = self.status()
+        families = engine_families(status["cluster"])
+        families += cache_families({
+            "plan": status["plan_cache"],
+            "slice": status["slice_cache"],
+            "result": status["result_cache"],
+        })
+        families += serving_families(status)
+        return render_exposition(families)
 
     def _maybe_log(self) -> None:
         every = self.config.log_every

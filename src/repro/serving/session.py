@@ -117,6 +117,19 @@ class Session:
         """Render *query*'s physical plan (no execution, no admission)."""
         return self._service.explain(self, query, inputs=inputs)
 
+    def profile(
+        self,
+        query: "Query",
+        inputs: Optional[Mapping[str, BlockedMatrix]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ):
+        """Execute *query* and return its cost-model accountability report
+        (a :class:`~repro.obs.profile.QueryProfile`)."""
+        return self._service.profile(
+            self, query, inputs=inputs, priority=priority, timeout=timeout
+        )
+
     # -- lifecycle --------------------------------------------------------
 
     @property

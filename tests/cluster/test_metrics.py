@@ -110,3 +110,94 @@ class TestBookkeeping:
         m.record(record())
         text = m.summary()
         assert "stages" in text and "comm" in text
+
+
+class TestConcurrentReads:
+    """Regression: lock-consistent reads while pool threads mutate.
+
+    With ``local_parallelism > 1`` pool threads record stages and bump
+    counters while the driver reads totals.  Every read path must take a
+    snapshot under the lock — iterating a mutating list/dict, or summing a
+    list that grows mid-sum, produces torn values (or raises).  Each stage
+    below writes internally-consistent numbers, so any torn read shows up
+    as a broken invariant.
+    """
+
+    def test_readers_see_consistent_snapshots_under_writes(self):
+        import threading
+
+        m = MetricsCollector()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                m.record(StageRecord(
+                    name=f"s{i}",
+                    num_tasks=2,
+                    consolidation_bytes=100,
+                    aggregation_bytes=10,
+                    flops=1000,
+                    seconds=0.5,
+                    peak_task_memory=50,
+                    unit=i % 4,
+                ))
+                m.bump("pool_tasks", 2)
+                m.bump_max("pool_width_max", i % 8)
+                i += 1
+
+        def reader():
+            baseline = m.copy()
+            while not stop.is_set():
+                try:
+                    totals = m.totals()
+                    # one snapshot => mutually consistent numbers
+                    assert totals["num_tasks"] == 2 * totals["num_stages"]
+                    assert totals["consolidation_bytes"] == (
+                        100 * totals["num_stages"]
+                    )
+                    assert m.comm_bytes % 110 == 0
+                    snap = m.snapshot()
+                    assert snap["counters"].get("pool_tasks", 0) % 2 == 0
+                    per_unit = m.per_unit_totals()
+                    assert sum(
+                        u["num_stages"] for u in per_unit.values()
+                    ) <= m.num_stages
+                    diff = m.diff_since(baseline)
+                    assert diff.num_tasks == 2 * diff.num_stages
+                    for stage in m:
+                        assert stage.num_tasks == 2
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    stop.set()
+                    return
+
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for t in writers + readers:
+            t.start()
+        import time
+        time.sleep(0.4)
+        stop.set()
+        for t in writers + readers:
+            t.join()
+        assert not errors, errors[0]
+        # final state is sane after the storm
+        assert m.num_tasks == 2 * m.num_stages
+
+    def test_concurrent_bumps_never_lose_increments(self):
+        import threading
+
+        m = MetricsCollector()
+
+        def bump_many():
+            for _ in range(1000):
+                m.bump("hits")
+
+        threads = [threading.Thread(target=bump_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("hits") == 4000

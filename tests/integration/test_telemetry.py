@@ -1,0 +1,310 @@
+"""Full-stack telemetry: profiles, span trees, trace export, invariance.
+
+The observability contract has two halves tested here.  Accountability:
+``engine.profile()`` joins every unit's cost-model prediction with its
+measured stage totals, the report is deterministic (golden-pinned for the
+GNMF iteration), and a deliberately mis-calibrated model surfaces as a
+nonzero relative error.  Non-invasiveness: with telemetry on or off, all
+five engines produce bit-identical outputs and unchanged modeled totals —
+counters and spans observe the run, they never steer it.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistMELikeEngine,
+    FuseMEEngine,
+    LocalXLAEngine,
+    MatFastLikeEngine,
+    SystemDSLikeEngine,
+)
+from repro.cluster.runtime.trace import validate_chrome_trace
+from repro.obs import MemorySink
+from repro.workloads.gnmf import gnmf_updates
+
+from tests.conftest import make_config
+
+BS = 20
+
+ENGINES = [
+    FuseMEEngine,
+    DistMELikeEngine,
+    SystemDSLikeEngine,
+    MatFastLikeEngine,
+    LocalXLAEngine,
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.matrix import rand_dense, rand_sparse
+
+    q = gnmf_updates(100, 80, 20, density=0.2, block_size=BS)
+    inputs = {
+        "X": rand_sparse(100, 80, density=0.2, block_size=BS, seed=11),
+        "U": rand_dense(20, 80, BS, seed=12, low=0.1, high=1.0),
+        "V": rand_dense(100, 20, BS, seed=13, low=0.1, high=1.0),
+    }
+    return [q.u_update, q.v_update], inputs
+
+
+# -- accountability ---------------------------------------------------------
+
+GOLDEN_GNMF_REPORT = """\
+QueryProfile[FuseME]: 4 unit(s), 8 stage(s); measured 0.4023s, predicted 0.002266s (err -99.4%)
+unit  kind  pqr        sec(pred)  sec(meas)  sec err  net(pred)  net(meas)  net err  flops(pred)  flops(meas)  flops err  label
+[0]   cfo   (1, 1, 5)  0.0001792  0.1005     -99.8%   4.48e+04   2.88e+04   +55.6%   8.2e+04      8.36e+04     -1.9%      F[r(T),ba(x)]
+[1]   cfo   (4, 1, 2)  0.0007936  0.1005     -99.2%   1.984e+05  9.92e+04   +100.0%  6.464e+05    6.484e+05    -0.3%      F[ba(x),r(T),ba(x)]
+[2]   cfo   (1, 4, 2)  0.0006912  0.1006     -99.3%   1.728e+05  1.491e+05  +15.9%   2.096e+05    1.433e+05    +46.2%     F[r(T),ba(x),b(mul),ba(x),b(add:,s1e-09),b(div)]
+[3]   cfo   (4, 1, 2)  0.0006016  0.1007     -99.4%   1.504e+05  1.515e+05  -0.7%    8.24e+04     7.932e+04    +3.9%      F[r(T),ba(x),b(mul),b(add:,s1e-09),b(div)]
+counters: cost_memo_hits=32, cost_memo_misses=83, cuboids_enumerated=65, cuboids_evaluated=52, cuboids_pruned=13, env_keys_released=5, plan_cache_misses=1, slice_cache_hits=91, slice_cache_misses=35"""
+
+
+def test_golden_gnmf_profile_report(workload):
+    """The GNMF-iteration EXPLAIN ANALYZE is pinned byte-for-byte: any
+    change to the cost model, the lowering, or the modeled execution shows
+    up as a diff of this report."""
+    query, inputs = workload
+    profile = FuseMEEngine(make_config(block_size=BS)).profile(query, inputs)
+    assert profile.render() == GOLDEN_GNMF_REPORT
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES, ids=lambda c: c.name)
+def test_profile_covers_every_unit(engine_cls, workload):
+    query, inputs = workload
+    engine = engine_cls(make_config(block_size=BS))
+    profile = engine.profile(query, inputs)
+    plan = profile.result.physical_plan
+    assert [u.index for u in profile.units] == [op.index for op in plan.ops]
+    for unit, op in zip(profile.units, plan.ops):
+        assert unit.kind == op.kind
+        assert unit.measured_seconds > 0.0
+        assert unit.num_stages > 0
+        # the rel-error triple is always present (None only where the
+        # planner made no claim for that axis)
+        for attr in ("seconds_error", "net_bytes_error", "flops_error"):
+            error = getattr(unit, attr)
+            assert error is None or isinstance(error, float)
+        if op.estimate is not None:
+            assert unit.net_bytes_error is not None
+    assert profile.measured_seconds == pytest.approx(
+        sum(u.measured_seconds for u in profile.units)
+    )
+
+
+def test_profile_aggregates_and_last_profile(workload):
+    query, inputs = workload
+    engine = FuseMEEngine(make_config(block_size=BS))
+    profile = engine.profile(query, inputs)
+    assert engine.last_profile is profile
+    assert profile.engine == "FuseME"
+    assert profile.wall_seconds is not None and profile.wall_seconds > 0.0
+    assert profile.seconds_error is not None
+    assert profile.mean_abs_seconds_error is not None
+    assert profile.max_abs_seconds_error >= profile.mean_abs_seconds_error
+    assert profile.counters["cuboids_enumerated"] > 0
+    assert (
+        profile.counters["cuboids_evaluated"]
+        + profile.counters["cuboids_pruned"]
+        == profile.counters["cuboids_enumerated"]
+    )
+
+
+def test_profile_requires_telemetry(workload):
+    query, inputs = workload
+    engine = FuseMEEngine(make_config(block_size=BS, telemetry=False))
+    with pytest.raises(RuntimeError, match="telemetry"):
+        engine.profile(query, inputs)
+    result = engine.execute(query, inputs)
+    assert result.profile is None
+    assert engine.last_profile is None
+
+
+class MiscalibratedFuseME(FuseMEEngine):
+    """FuseME with every cost-model prediction inflated 1000x.
+
+    Estimates are planner-side only, so execution is untouched — but the
+    accountability join must expose the inflation as large positive error.
+    """
+
+    def annotate_unit(self, unit, hint=None):
+        note = super().annotate_unit(unit, hint)
+        if note.estimate is None:
+            return note
+        est = note.estimate
+        scaled = dataclasses.replace(
+            est,
+            net_bytes=est.net_bytes * 1000.0,
+            flops=est.flops * 1000.0,
+            seconds=None if est.seconds is None else est.seconds * 1000.0,
+        )
+        return dataclasses.replace(note, estimate=scaled)
+
+
+def test_perturbed_cost_model_surfaces_nonzero_error(workload):
+    query, inputs = workload
+    honest = FuseMEEngine(make_config(block_size=BS)).profile(query, inputs)
+    skewed = MiscalibratedFuseME(make_config(block_size=BS)).profile(
+        query, inputs
+    )
+    # execution is identical: predictions never feed the modeled run
+    assert skewed.totals == honest.totals
+    # ...but accountability sees straight through the inflation: the honest
+    # model under-predicts (launch overhead isn't in its estimates), the
+    # inflated one flips to large over-prediction
+    assert honest.seconds_error < 0.0
+    assert skewed.seconds_error > 1.0
+    assert skewed.predicted_seconds == pytest.approx(
+        honest.predicted_seconds * 1000.0
+    )
+    for honest_unit, unit in zip(honest.units, skewed.units):
+        if unit.predicted_seconds is not None:
+            assert honest_unit.seconds_error < 0.0 < unit.seconds_error
+            assert unit.flops_error > 100.0
+
+
+# -- non-invasiveness -------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES, ids=lambda c: c.name)
+def test_telemetry_is_bit_identical_noop(engine_cls, workload):
+    """Outputs and every modeled total are unchanged by telemetry — with a
+    sink attached and without."""
+    query, inputs = workload
+    on_engine = engine_cls(make_config(block_size=BS))
+    on_engine.telemetry.attach(MemorySink())
+    on = on_engine.execute(query, inputs)
+    off = engine_cls(
+        make_config(block_size=BS, telemetry=False)
+    ).execute(query, inputs)
+
+    assert on.metrics.totals() == off.metrics.totals()
+    for root_on, root_off in zip(on.dag.roots, off.dag.roots):
+        assert np.array_equal(
+            on.outputs[root_on].to_numpy(), off.outputs[root_off].to_numpy()
+        )
+    assert on.profile is not None
+    assert off.profile is None
+
+
+def test_engine_bus_emits_profile_and_counters(workload):
+    query, inputs = workload
+    engine = FuseMEEngine(make_config(block_size=BS))
+    sink = engine.telemetry.attach(MemorySink())
+    engine.execute(query, inputs)
+    profiles = sink.named("query.profile")
+    assert len(profiles) == 1
+    assert profiles[0].attrs["engine"] == "FuseME"
+    assert profiles[0].attrs["profile"]["units"]
+    totals = sink.named("engine.totals.elapsed_seconds")
+    assert len(totals) == 1 and totals[0].value > 0.0
+    assert sink.named("engine.counters.cuboids_enumerated")
+
+
+# -- span trees + trace export ---------------------------------------------
+
+
+def test_span_tree_shape_and_clocks(workload):
+    query, inputs = workload
+    profile = FuseMEEngine(
+        make_config(block_size=BS, local_parallelism=4)
+    ).profile(query, inputs)
+    span = profile.span
+    assert span.name == "query" and span.attrs["engine"] == "FuseME"
+    assert [c.name for c in span.children] == ["plan", "execute"]
+
+    plan = span.find("plan")
+    assert plan.attrs["cache_hit"] is False
+    assert plan.attrs["units"] == 4
+    assert plan.attrs["optimizer_method"] == "pruned"
+    assert plan.attrs["cuboids_enumerated"] > 0
+    assert plan.attrs["exploitation_splits"] >= 0
+
+    execute = span.find("execute")
+    unit_spans = [c for c in execute.children if c.category == "unit"]
+    assert [u.name for u in unit_spans] == [f"unit[{i}]" for i in range(4)]
+    total_stage_spans = 0
+    for unit in unit_spans:
+        assert unit.wall_seconds >= 0.0
+        assert unit.modeled_seconds > 0.0
+        for stage in unit.children:
+            assert stage.category == "stage"
+            assert unit.modeled_start <= stage.modeled_start
+            assert stage.modeled_end <= unit.modeled_end
+            total_stage_spans += 1
+    assert total_stage_spans == profile.totals["num_stages"]
+    # the whole tree sits on the query's modeled window
+    assert span.modeled_start == 0.0
+    assert span.modeled_seconds == pytest.approx(profile.measured_seconds)
+
+
+def test_plan_cache_hit_span_attrs(workload):
+    query, inputs = workload
+    engine = FuseMEEngine(make_config(block_size=BS))
+    first = engine.profile(query, inputs)
+    second = engine.profile(query, inputs)
+    assert first.span.find("plan").attrs["cache_hit"] is False
+    assert second.span.find("plan").attrs["cache_hit"] is True
+    assert second.counters["plan_cache_hits"] == 1
+    # optimizer counters describe the cached plan's recorded search
+    assert second.counters["cuboids_enumerated"] == (
+        first.counters["cuboids_enumerated"]
+    )
+
+
+def test_trace_carries_spans_and_cache_instants(workload):
+    """Under the event-driven runtime the per-query trace interleaves
+    stage/task events with span events and cache instant markers, and the
+    Chrome export stays loadable."""
+    query, inputs = workload
+    engine = FuseMEEngine(
+        make_config(block_size=BS, time_model="scheduled")
+    )
+    first = engine.execute(query, inputs)
+    second = engine.execute(query, inputs)
+
+    def names(trace, category):
+        return [e.name for e in trace.events if e.category == category]
+
+    spans = names(first.trace, "span")
+    assert spans[:3] == ["query", "plan", "execute"]
+    assert "unit[0]" in spans
+    assert "plan_cache:miss" in names(first.trace, "cache")
+    assert "plan_cache:hit" in names(second.trace, "cache")
+    # slice reuse across executes emits the delta marker on the rerun
+    assert any(
+        e.name == "slice_cache" and e.args.get("hits", 0) > 0
+        for e in second.trace.events if e.category == "cache"
+    )
+    # span rows live on the driver's span thread, apart from stage events
+    for event in first.trace.events:
+        if event.category == "span":
+            assert event.pid == 0 and event.tid == 1
+    validate_chrome_trace(first.trace.to_chrome_trace())
+    validate_chrome_trace(second.trace.to_chrome_trace())
+
+
+def test_spans_without_scheduled_trace_still_profile(workload):
+    """The default time model has no TraceRecorder; profiles and span trees
+    must work regardless."""
+    query, inputs = workload
+    result = FuseMEEngine(make_config(block_size=BS)).execute(query, inputs)
+    assert result.trace is None
+    assert result.profile is not None
+    assert result.profile.span.find("unit[0]") is not None
+
+
+def test_wall_and_modeled_clocks_are_distinct(workload):
+    query, inputs = workload
+    profile = FuseMEEngine(make_config(block_size=BS)).profile(query, inputs)
+    # modeled seconds are simulated; wall seconds are real and tiny here
+    assert profile.measured_seconds > 0.1  # modeled
+    assert profile.wall_seconds < 60.0  # real
+    assert math.isfinite(profile.wall_seconds)
+    for unit in profile.units:
+        span = profile.span.find(f"unit[{unit.index}]")
+        assert span.modeled_seconds == pytest.approx(unit.measured_seconds)

@@ -1,0 +1,128 @@
+"""Event bus fan-out + the bundled sinks."""
+
+import json
+import logging
+
+from repro.obs import (
+    EventBus,
+    JsonDumpSink,
+    LoggingSink,
+    MemorySink,
+    TelemetryEvent,
+)
+from repro.obs.bus import Sink
+
+
+class RaisingSink(Sink):
+    def __init__(self):
+        self.calls = 0
+
+    def emit(self, event):
+        self.calls += 1
+        raise RuntimeError("exporter down")
+
+
+class TestEventBus:
+    def test_inactive_without_sinks(self):
+        bus = EventBus()
+        assert not bus.active
+        bus.emit(TelemetryEvent("x"))  # no-op, no error
+
+    def test_fan_out_preserves_order(self):
+        bus = EventBus()
+        a, b = MemorySink(), MemorySink()
+        bus.attach(a)
+        bus.attach(b)
+        assert bus.active
+        bus.emit(TelemetryEvent("first"))
+        bus.emit(TelemetryEvent("second"))
+        assert [e.name for e in a.events] == ["first", "second"]
+        assert [e.name for e in b.events] == ["first", "second"]
+
+    def test_raising_sink_is_detached_not_fatal(self, caplog):
+        bus = EventBus()
+        bad = RaisingSink()
+        good = MemorySink()
+        bus.attach(bad)
+        bus.attach(good)
+        with caplog.at_level(logging.ERROR, logger="repro.obs"):
+            bus.emit(TelemetryEvent("a"))
+            bus.emit(TelemetryEvent("b"))
+        # bad saw only the first event, then was detached; good saw both
+        assert bad.calls == 1
+        assert [e.name for e in good.events] == ["a", "b"]
+        assert bus.sinks == [good]
+
+    def test_detach(self):
+        bus = EventBus()
+        sink = bus.attach(MemorySink())
+        bus.detach(sink)
+        assert not bus.active
+        bus.detach(sink)  # idempotent
+
+    def test_emit_counters_sorted_numeric_only(self):
+        bus = EventBus()
+        sink = bus.attach(MemorySink())
+        bus.emit_counters(
+            "eng", {"b": 2, "a": 1.5, "skip": "text"}, engine="fuseme"
+        )
+        assert [e.name for e in sink.events] == ["eng.a", "eng.b"]
+        assert sink.events[0].kind == "counter"
+        assert sink.events[0].value == 1.5
+        assert sink.events[0].attrs == {"engine": "fuseme"}
+
+    def test_close_empties_bus_and_closes_sinks(self, tmp_path):
+        bus = EventBus()
+        path = tmp_path / "dump.json"
+        sink = bus.attach(JsonDumpSink(str(path)))
+        bus.emit(TelemetryEvent("x", kind="event"))
+        bus.close()
+        assert not bus.active
+        assert json.loads(path.read_text())["events"][0]["name"] == "x"
+        assert sink.events  # retained after close
+
+
+class TestMemorySink:
+    def test_named_and_clear(self):
+        sink = MemorySink()
+        sink.emit(TelemetryEvent("a"))
+        sink.emit(TelemetryEvent("b"))
+        sink.emit(TelemetryEvent("a"))
+        assert len(sink) == 3
+        assert len(sink.named("a")) == 2
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestLoggingSink:
+    def test_line_format_sorted_attrs(self, caplog):
+        sink = LoggingSink()
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            sink.emit(TelemetryEvent(
+                "q.done", kind="counter", value=2.0, attrs={"b": 1, "a": 0}
+            ))
+        assert caplog.records[-1].getMessage() == "q.done counter value=2 a=0 b=1"
+
+    def test_value_omitted_when_none(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            LoggingSink().emit(TelemetryEvent("evt"))
+        assert caplog.records[-1].getMessage() == "evt event"
+
+
+class TestJsonDumpSink:
+    def test_to_json_round_trip(self):
+        sink = JsonDumpSink()
+        sink.emit(TelemetryEvent("n", kind="gauge", value=1.0, attrs={"k": "v"}))
+        doc = json.loads(sink.to_json())
+        assert doc["events"] == [
+            {"name": "n", "kind": "gauge", "value": 1.0, "attrs": {"k": "v"}}
+        ]
+
+    def test_dump_requires_path(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            JsonDumpSink().dump()
+
+    def test_close_without_path_is_noop(self):
+        JsonDumpSink().close()

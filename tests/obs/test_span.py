@@ -1,0 +1,106 @@
+"""Span trees: nesting, clocks, traversal, rendering."""
+
+import json
+
+from repro.obs import Span, SpanTracer
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by *step* seconds."""
+
+    def __init__(self, start=100.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpan:
+    def test_durations(self):
+        span = Span("s", wall_start=1.0, wall_end=3.5)
+        assert span.wall_seconds == 2.5
+        assert span.modeled_seconds is None
+        span.modeled_start, span.modeled_end = 10.0, 12.0
+        assert span.modeled_seconds == 2.0
+
+    def test_open_span_has_zero_wall(self):
+        assert Span("s", wall_start=5.0).wall_seconds == 0.0
+
+    def test_child_and_walk_order(self):
+        root = Span("root")
+        a = root.child("a")
+        a.child("a1")
+        root.child("b")
+        assert [s.name for s in root.walk()] == ["root", "a", "a1", "b"]
+
+    def test_find(self):
+        root = Span("root")
+        root.child("x").child("needle")
+        assert root.find("needle") is not None
+        assert root.find("missing") is None
+
+    def test_to_dict_round_trips_json(self):
+        root = Span("root", wall_start=0.0, wall_end=1.0, attrs={"k": 1})
+        root.child("c")
+        doc = json.loads(json.dumps(root.to_dict()))
+        assert doc["name"] == "root"
+        assert doc["children"][0]["name"] == "c"
+        assert doc["attrs"] == {"k": 1}
+
+    def test_render_sorts_attrs(self):
+        span = Span("s", wall_start=0.0, wall_end=1.0, attrs={"b": 2, "a": 1})
+        assert "(a=1, b=2)" in span.render()
+
+
+class TestSpanTracer:
+    def test_nesting(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("query"):
+            with tracer.span("plan"):
+                pass
+            with tracer.span("execute"):
+                with tracer.span("unit[0]"):
+                    pass
+        root = tracer.root
+        assert root.name == "query"
+        assert [c.name for c in root.children] == ["plan", "execute"]
+        assert root.children[1].children[0].name == "unit[0]"
+
+    def test_fake_clock_gives_deterministic_walls(self):
+        tracer = SpanTracer(clock=FakeClock(start=0.0, step=1.0))
+        with tracer.span("a"):
+            pass
+        assert tracer.root.wall_start == 0.0
+        assert tracer.root.wall_end == 1.0
+
+    def test_current_tracks_stack(self):
+        tracer = SpanTracer(clock=FakeClock())
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_second_top_level_span_joins_root(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert tracer.root.name == "first"
+        assert [c.name for c in tracer.root.children] == ["second"]
+
+    def test_span_closes_on_exception(self):
+        tracer = SpanTracer(clock=FakeClock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.root.wall_end is not None
+        assert tracer.current is None

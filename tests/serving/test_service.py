@@ -268,3 +268,76 @@ class TestStatus:
                 alice = service.open_session("alice").bind("X", x_matrix())
                 alice.execute(QUERY, timeout=10.0)
         assert any("serving: served=" in r.message for r in caplog.records)
+
+
+class TestCacheStatus:
+    def test_each_cache_reports_a_stats_sub_dict(self):
+        """status() embeds one stats dict per cache layer — the shape the
+        Prometheus builders consume."""
+        with make_service() as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            alice.execute(QUERY, timeout=10.0)
+            alice.execute(QUERY, timeout=10.0)  # result-cache hit
+            status = service.status()
+        for cache in ("result_cache", "plan_cache", "slice_cache"):
+            stats = status[cache]
+            assert isinstance(stats, dict), cache
+            for key in ("hits", "misses", "entries"):
+                assert key in stats, (cache, key)
+        assert status["result_cache"]["hits"] == 1
+        assert status["result_cache"]["misses"] >= 1
+        assert status["result_cache"]["entries"] == 1
+
+
+class TestServingTelemetry:
+    """session.profile() and the Prometheus endpoint, on a real engine."""
+
+    def _real_service(self, **engine_options):
+        from repro import FuseMEEngine
+
+        return make_service(FuseMEEngine(make_config(**engine_options)))
+
+    def test_session_profile_round_trip(self):
+        with self._real_service() as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            profile = alice.profile(QUERY, timeout=10.0)
+        assert profile.engine == "FuseME"
+        assert len(profile.units) == 1
+        assert profile.units[0].measured_seconds > 0.0
+        assert profile.span.find("execute") is not None
+        # the served result rides along
+        assert profile.result.output(0).shape == (50, 50)
+
+    def test_profile_requires_telemetry(self):
+        with self._real_service(telemetry=False) as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            with pytest.raises(RuntimeError, match="telemetry"):
+                alice.profile(QUERY, timeout=10.0)
+
+    def test_prometheus_endpoint_parses_and_covers_layers(self):
+        from repro.obs.prometheus import validate_exposition
+
+        with self._real_service() as service:
+            alice = service.open_session("alice").bind("X", x_matrix())
+            alice.execute(QUERY, timeout=10.0)
+            alice.execute(QUERY, timeout=10.0)  # result-cache hit
+            bob = service.open_session("bob").bind("X", x_matrix(seed=2))
+            bob.execute(QUERY, timeout=10.0)
+            text = service.prometheus()
+        assert validate_exposition(text) > 0
+        # engine stage totals (modeled numbers from the shared cluster)
+        assert "repro_engine_stages_total" in text
+        assert "repro_engine_elapsed_modeled_seconds_total" in text
+        # cache counters for all three layers
+        for cache in ("plan", "slice", "result"):
+            assert f'repro_cache_hits_total{{cache="{cache}"}}' in text
+        # per-tenant latency summary quantiles
+        assert (
+            'repro_serving_latency_seconds{quantile="0.99",tenant="alice"}'
+            in text
+        )
+        assert 'repro_serving_latency_seconds_count{tenant="bob"} 1' in text
+        assert (
+            'repro_serving_queries_total{outcome="served",tenant="alice"} 2'
+            in text
+        )

@@ -99,3 +99,95 @@ class TestServiceMetrics:
         assert "queued=2" in line
         assert "running=1" in line
         assert "result_cache_hit_rate=1.00" in line
+
+
+class TestLatencyBucketEdges:
+    """Edge cases of the geometric-bucket percentile model."""
+
+    def test_zero_latency_sample(self):
+        h = LatencyHistogram()
+        h.record(0.0)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+        assert snap["p50"] == 0.0 and snap["p99"] == 0.0
+        assert snap["mean"] == 0.0
+
+    def test_below_smallest_bucket_clamps_to_max(self):
+        h = LatencyHistogram()
+        h.record(1e-9)  # far below the 2^-20 s first bound
+        snap = h.snapshot()
+        assert snap["p50"] == 1e-9
+        assert snap["p99"] == 1e-9
+
+    def test_beyond_largest_bucket_lands_in_overflow(self):
+        h = LatencyHistogram()
+        h.record(10_000.0)  # above the 2^12 s last bound
+        assert h.percentile(0.5) == 10_000.0
+        assert h.percentile(0.99) == 10_000.0
+
+    def test_p99_on_sparse_buckets(self):
+        """99 fast samples + 1 slow one: p99 must reach into the slow
+        sample's bucket, p50 must stay in the fast one."""
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.record(0.001)
+        h.record(8.0)
+        assert h.percentile(0.50) <= 2 ** -9  # fast bucket bound (~2 ms)
+        assert h.percentile(0.99) <= 2 ** -9  # rank 99 is still fast
+        assert h.percentile(1.00) == 8.0
+        snap = h.snapshot()
+        assert snap["p95"] < 0.01
+        assert snap["max"] == 8.0
+
+    def test_two_samples_p99_is_slow_one(self):
+        h = LatencyHistogram()
+        h.record(0.001)
+        h.record(4.0)
+        # rank ceil(0.99 * 2) = 2 -> the slow sample's bucket
+        assert h.percentile(0.99) == 4.0
+
+    def test_snapshot_is_deterministic(self):
+        def build():
+            h = LatencyHistogram()
+            for value in (0.004, 0.001, 2.5, 0.0, 0.031, 0.004):
+                h.record(value)
+            return h
+
+        a, b = build(), build()
+        assert a.snapshot() == b.snapshot()
+        # reading never mutates: repeated snapshots are identical
+        assert a.snapshot() == a.snapshot()
+
+    def test_identical_samples_collapse_to_one_bucket(self):
+        h = LatencyHistogram()
+        for _ in range(1000):
+            h.record(0.2)
+        snap = h.snapshot()
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 0.2
+
+
+class TestPerTenantLatency:
+    def test_tenant_snapshot_carries_latency(self):
+        m = ServiceMetrics()
+        m.record_served("alice", from_cache=False,
+                        queue_seconds=0.0, total_seconds=0.1)
+        m.record_served("alice", from_cache=False,
+                        queue_seconds=0.0, total_seconds=0.3)
+        m.record_submitted("bob")  # bob never completed a query
+        snap = m.snapshot()
+        alice = snap["tenants"]["alice"]["latency"]
+        assert alice["count"] == 2
+        assert alice["mean"] == 0.2
+        assert alice["min"] == 0.1 and alice["max"] == 0.3
+        assert "latency" not in snap["tenants"]["bob"]
+
+    def test_tenant_latencies_are_independent(self):
+        m = ServiceMetrics()
+        m.record_served("fast", False, 0.0, 0.001)
+        m.record_served("slow", False, 0.0, 5.0)
+        snap = m.snapshot()
+        assert snap["tenants"]["fast"]["latency"]["p99"] < 0.01
+        assert snap["tenants"]["slow"]["latency"]["p99"] == 5.0
+        # the global histogram still sees both
+        assert snap["latency"]["count"] == 2
