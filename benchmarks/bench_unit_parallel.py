@@ -2,15 +2,22 @@
 
 Multi-root queries lower to physical plans whose first wave holds several
 independent units; with ``local_parallelism > 1`` the scheduler dispatches a
-wave's units concurrently.  This benchmark runs each multi-root workload
-twice on identical inputs — sequential (``local_parallelism=1``) and
-concurrent (``local_parallelism=4``) — and reports real elapsed time while
-verifying concurrency is invisible: bit-identical outputs and identical
-modeled totals (seconds, bytes, flops, stages).
+wave's units concurrently — on threads (``execution_backend="thread"``, the
+default) or on worker processes fed through the shared-memory block store
+(``execution_backend="process"``, DESIGN.md §12).  This benchmark runs each
+multi-root workload on identical inputs once sequentially
+(``local_parallelism=1``) and once per backend (``local_parallelism=4``),
+reports real elapsed time per backend, and verifies concurrency is
+invisible everywhere: bit-identical outputs and identical modeled totals
+(seconds, bytes, flops, stages).
 
-Exits non-zero if any invisibility check fails or if the scheduler never
-actually overlapped units (wave width counter) — CI-runnable with
-``--quick`` as a smoke test.  Writes ``BENCH_unit_parallel.json``.
+A backend that comes out *slower* than sequential is not a failure — thread
+dispatch loses to the GIL on CPU-bound kernels, and process dispatch cannot
+win on a single-core host — but it is reported: the backend's entry gains a
+``"slowdown"`` warning field and the run's ``warnings`` list names it.
+Exits non-zero only if a correctness check fails or the scheduler never
+actually overlapped units — CI-runnable with ``--quick`` as a smoke test.
+Writes ``BENCH_unit_parallel.json``.
 """
 
 from __future__ import annotations
@@ -30,6 +37,9 @@ from repro.matrix import rand_dense, rand_sparse
 from repro.workloads.gnmf import gnmf_updates
 
 from common import BLOCK_SIZE, bench_config
+
+BACKENDS = ("thread", "process")
+PARALLELISM = 4
 
 
 def unit_config(**options):
@@ -75,17 +85,26 @@ WORKLOADS = [
 ]
 
 
-def run(query, inputs, parallelism, repeats):
-    engine = FuseMEEngine(unit_config(local_parallelism=parallelism))
-    outputs, totals, result = [], [], None
-    start = time.perf_counter()
-    for _ in range(repeats):
-        result = engine.execute(query, inputs)
-        outputs.append([
-            result.outputs[root].to_numpy() for root in result.dag.roots
-        ])
-        totals.append(result.metrics.totals())
-    wall = time.perf_counter() - start
+def run(query, inputs, parallelism, repeats, backend="thread"):
+    engine = FuseMEEngine(unit_config(
+        local_parallelism=parallelism, execution_backend=backend,
+    ))
+    try:
+        if backend == "process":
+            # spawn + numpy import cost is a one-time pool setup, not a
+            # per-query cost: pay it before the clock starts
+            engine._ensure_procpool().ensure_started()
+        outputs, totals, result = [], [], None
+        start = time.perf_counter()
+        for _ in range(repeats):
+            result = engine.execute(query, inputs)
+            outputs.append([
+                result.outputs[root].to_numpy() for root in result.dag.roots
+            ])
+            totals.append(result.metrics.totals())
+        wall = time.perf_counter() - start
+    finally:
+        engine.close()
     return wall, totals, outputs, result
 
 
@@ -93,58 +112,85 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller shapes / fewer repeats (CI smoke)")
+    parser.add_argument("--backend", choices=BACKENDS + ("all",),
+                        default="all",
+                        help="execution backend(s) to benchmark")
     parser.add_argument("--output", default=None,
                         help="path of the JSON report "
                              "(default: BENCH_unit_parallel.json next to "
                              "this script)")
     args = parser.parse_args()
     repeats = 3 if args.quick else 8
+    backends = BACKENDS if args.backend == "all" else (args.backend,)
 
     cpus = os.cpu_count() or 1
     report = {
-        "quick": args.quick, "parallelism": 4, "cpu_count": cpus,
-        "workloads": {},
+        "quick": args.quick, "parallelism": PARALLELISM, "cpu_count": cpus,
+        "backends": list(backends), "workloads": {}, "warnings": [],
     }
     failures = []
     if cpus < 2:
         print(f"note: host has {cpus} CPU core(s) — unit dispatch overlaps "
-              "(wave counters below) but threads cannot improve CPU-bound "
+              "(wave counters below) but no backend can improve CPU-bound "
               "wall-clock; speedups >1x need a multi-core host")
     for name, maker in WORKLOADS:
         query, inputs = maker(args.quick)
         seq_wall, seq_totals, seq_out, _ = run(query, inputs, 1, repeats)
-        par_wall, par_totals, par_out, result = run(query, inputs, 4, repeats)
-
-        modeled_equal = seq_totals == par_totals
-        bit_identical = all(
-            np.array_equal(a, b)
-            for run_s, run_p in zip(seq_out, par_out)
-            for a, b in zip(run_s, run_p)
-        )
-        wave_width = result.metrics.counter("unit_wave_width_max")
         entry = {
             "sequential_wall_seconds": round(seq_wall, 4),
-            "parallel_wall_seconds": round(par_wall, 4),
-            "speedup": round(seq_wall / par_wall, 2),
-            "modeled_equal": modeled_equal,
-            "bit_identical": bit_identical,
-            "units": len(result.physical_plan.ops),
-            "unit_waves": result.metrics.counter("unit_waves"),
-            "unit_wave_width_max": wave_width,
+            "backends": {},
         }
         report["workloads"][name] = entry
-        print(f"{name:20s}  seq {seq_wall:7.3f}s  par {par_wall:7.3f}s  "
-              f"{entry['speedup']:5.2f}x  "
-              f"{entry['units']} units / {entry['unit_waves']} waves "
-              f"(width {wave_width})  "
-              f"modeled_equal={modeled_equal}  bit_identical={bit_identical}")
 
-        if not modeled_equal:
-            failures.append(f"{name}: modeled metrics changed")
-        if not bit_identical:
-            failures.append(f"{name}: outputs differ")
-        if wave_width < 2:
-            failures.append(f"{name}: scheduler never overlapped units")
+        for backend in backends:
+            par_wall, par_totals, par_out, result = run(
+                query, inputs, PARALLELISM, repeats, backend=backend,
+            )
+            modeled_equal = seq_totals == par_totals
+            bit_identical = all(
+                np.array_equal(a, b)
+                for run_s, run_p in zip(seq_out, par_out)
+                for a, b in zip(run_s, run_p)
+            )
+            wave_width = result.metrics.counter("unit_wave_width_max")
+            speedup = round(seq_wall / par_wall, 2)
+            sub = {
+                "wall_seconds": round(par_wall, 4),
+                "speedup": speedup,
+                "modeled_equal": modeled_equal,
+                "bit_identical": bit_identical,
+                "units": len(result.physical_plan.ops),
+                "unit_waves": result.metrics.counter("unit_waves"),
+                "unit_wave_width_max": wave_width,
+            }
+            if backend == "process":
+                sub["procpool_fallbacks"] = result.metrics.counter(
+                    "procpool_fallbacks"
+                )
+            if speedup < 1.0:
+                sub["slowdown"] = (
+                    f"{backend} dispatch ran {1 / max(speedup, 0.01):.2f}x "
+                    f"slower than sequential on this host "
+                    f"({cpus} CPU core(s))"
+                )
+                report["warnings"].append(f"{name}/{backend}: {sub['slowdown']}")
+            entry["backends"][backend] = sub
+            print(f"{name:20s} {backend:8s} seq {seq_wall:7.3f}s  "
+                  f"par {par_wall:7.3f}s  {speedup:5.2f}x  "
+                  f"{sub['units']} units / {sub['unit_waves']} waves "
+                  f"(width {wave_width})  "
+                  f"modeled_equal={modeled_equal}  "
+                  f"bit_identical={bit_identical}"
+                  + ("  [SLOWDOWN]" if "slowdown" in sub else ""))
+
+            if not modeled_equal:
+                failures.append(f"{name}/{backend}: modeled metrics changed")
+            if not bit_identical:
+                failures.append(f"{name}/{backend}: outputs differ")
+            if wave_width < 2:
+                failures.append(
+                    f"{name}/{backend}: scheduler never overlapped units"
+                )
 
     out_path = Path(args.output) if args.output else (
         Path(__file__).resolve().parent / "BENCH_unit_parallel.json"
@@ -152,6 +198,8 @@ def main() -> int:
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
 
+    for warning in report["warnings"]:
+        print(f"WARN: {warning}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -20,7 +20,11 @@ rules the paper's architecture depends on get called out explicitly:
   runtime-free), and nothing below ``serving`` imports ``serving``;
 * only the physical layer (``core/cfo.py``, ``core/physical.py``) and
   ``operators/`` may open cluster stages (``.stage(...)``) — engines and
-  everything above talk to the cluster through the physical plan.
+  everything above talk to the cluster through the physical plan;
+* ``cluster/procpool`` is a pure substrate: it may never import the
+  planning (``core``), serving, or telemetry (``obs``) layers, even if the
+  ``cluster`` layer as a whole is someday granted those imports.  The
+  driver-side bridge lives in ``core/procexec.py``, above the substrate.
 
 Imports inside ``if TYPE_CHECKING:`` blocks are ignored (annotations only).
 Exit status 0 when clean, 1 with one line per violation otherwise.
@@ -68,7 +72,13 @@ ALLOWED = {
 #: Files allowed to call ``<something>.stage(...)``: the cluster package
 #: (which defines it) plus the physical operators that execute units.
 STAGE_ALLOWED_DIRS = ("cluster", "operators")
-STAGE_ALLOWED_FILES = ("core/cfo.py", "core/physical.py")
+STAGE_ALLOWED_FILES = ("core/cfo.py", "core/physical.py", "core/procexec.py")
+
+#: ``cluster/procpool`` ships pickled tasks into spawned worker processes;
+#: anything it imports gets re-imported in every child.  It must stay a pure
+#: substrate — never the planning, serving, or telemetry layers — regardless
+#: of what the wider ``cluster`` layer is allowed.
+PROCPOOL_FORBIDDEN = {"core", "serving", "obs"}
 
 
 def layer_of(path: Path) -> str | None:
@@ -149,6 +159,13 @@ def main() -> int:
                     violations.append(
                         f"{rel}:{lineno}: layer {layer!r} must not import "
                         f"repro.{target}"
+                    )
+        if rel.startswith("cluster/procpool/"):
+            for lineno, target in repro_imports(tree):
+                if target in PROCPOOL_FORBIDDEN:
+                    violations.append(
+                        f"{rel}:{lineno}: cluster/procpool is a pure "
+                        f"substrate and must not import repro.{target}"
                     )
         if not stage_allowed(rel):
             for lineno in stage_calls(tree):

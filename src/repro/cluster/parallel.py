@@ -40,17 +40,30 @@ def parallel_map(
 ) -> List[Result]:
     """Map *fn* over *items*, in order, on up to *parallelism* threads.
 
-    Serial (a plain loop) when ``parallelism <= 1``, when there is at most
+    Serial (a plain loop) when ``parallelism == 1``, when there is at most
     one item, or when called from inside another ``parallel_map`` worker
-    (no nested pools).  Exceptions propagate exactly as in the serial loop:
+    (no nested pools); a non-positive *parallelism* is a caller bug and
+    raises ValueError.  Exceptions propagate exactly as in the serial loop:
     the first failing item's exception is raised in submission order.  When
     *metrics* is given, pool usage counters (``{counter_prefix}_tasks``
     etc.) are bumped — observability only; counters never feed modeled
     numbers.
+
+    This is the *thread* dispatch seam of the execution stack: physical-plan
+    waves and operator task loops funnel through here under
+    ``EngineConfig(execution_backend="thread")``, and the process backend
+    falls back to this exact path whenever it is ineligible or its pool
+    breaks (see :func:`repro.core.procexec.make_wave_runner`).
     """
+    if parallelism <= 0:
+        raise ValueError(
+            f"parallelism must be positive, got {parallelism} "
+            f"(EngineConfig.local_parallelism validates this; a non-positive "
+            f"value here means a caller computed a bad worker count)"
+        )
     items = list(items)
     if (
-        parallelism <= 1
+        parallelism == 1
         or len(items) <= 1
         or getattr(_worker, "active", False)
     ):

@@ -1,0 +1,39 @@
+"""Process/shared-memory execution substrate (the "break the GIL" backend).
+
+``repro.cluster.procpool`` is a *generic* process-parallel substrate: a
+shared-memory block store for zero-copy matrix handoff
+(:class:`SharedBlockStore`), and a persistent crash-tolerant pool of spawn
+workers (:class:`ProcessPool`) that runs picklable ``(fn, payload)`` task
+descriptors.  It knows nothing about planning or engines — the physical
+layer (``repro.core.procexec``) supplies the task functions.  By layering
+rule this package must never import ``repro.core``, ``repro.serving`` or
+``repro.obs`` (enforced by ``scripts/check_layers.py``).
+"""
+
+from repro.cluster.procpool.pool import (
+    PoolBrokenError,
+    PoolStats,
+    ProcessPool,
+    TaskOutcome,
+    WorkerCrashError,
+)
+from repro.cluster.procpool.store import (
+    MatrixRef,
+    SegmentRef,
+    SharedBlockStore,
+    open_matrix,
+    write_matrix,
+)
+
+__all__ = [
+    "MatrixRef",
+    "PoolBrokenError",
+    "PoolStats",
+    "ProcessPool",
+    "SegmentRef",
+    "SharedBlockStore",
+    "TaskOutcome",
+    "WorkerCrashError",
+    "open_matrix",
+    "write_matrix",
+]

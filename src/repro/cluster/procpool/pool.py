@@ -1,0 +1,350 @@
+"""A persistent, crash-tolerant pool of spawn-safe worker processes.
+
+The pool is the execution substrate of the process backend
+(``EngineConfig(execution_backend="process")``): workers are real OS
+processes, so numpy/scipy kernels that would contend on the GIL inside one
+interpreter genuinely run in parallel.
+
+Design points:
+
+* **spawn context** — workers are started with the ``spawn`` method (never
+  ``fork``), so they hold no accidental copies of driver state and behave
+  identically under any embedding (threads, servers, notebooks);
+* **lazy + persistent** — nothing starts until the first batch; once
+  started, workers survive across batches (and across queries, when the
+  pool is engine-owned), amortizing interpreter/numpy import cost;
+* **one task queue per worker** — the driver hands each worker exactly one
+  task at a time, so when a worker dies the casualty is known precisely
+  (no shared-queue claim ambiguity) and can be resubmitted elsewhere;
+* **bounded respawn** — a crashed worker is replaced and its task retried;
+  when the respawn budget or a task's retry budget is exhausted the pool
+  declares itself broken and raises :class:`PoolBrokenError` carrying every
+  finished result, so the caller can fall back (the scheduler reruns the
+  rest on the thread backend) **without losing completed work or ever
+  returning a wrong answer**.
+
+Results are returned in submission order; task *errors* (exceptions raised
+by the task function) are not crashes — they are recorded per task and
+surfaced to the caller in order, exactly like a serial loop would.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.procpool.worker import ERR, decode_error, worker_loop
+
+#: Replacement workers the pool will start over its lifetime before giving up.
+DEFAULT_RESPAWN_LIMIT = 3
+#: Times one task may be attempted (first run + retries after crashes).
+DEFAULT_TASK_ATTEMPTS = 2
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died while running a task."""
+
+
+class PoolBrokenError(RuntimeError):
+    """The pool gave up (respawn budget exhausted or start-up failed).
+
+    ``completed`` maps task index -> :class:`TaskOutcome` for everything
+    that finished before the pool broke, so callers can salvage the batch.
+    """
+
+    def __init__(self, message: str, completed: Optional[Dict[int, "TaskOutcome"]] = None):
+        super().__init__(message)
+        self.completed: Dict[int, TaskOutcome] = completed or {}
+
+
+@dataclass
+class TaskOutcome:
+    """One finished task: its value or error, plus timing for observability."""
+
+    index: int
+    value: object = None
+    error: Optional[BaseException] = None
+    worker_id: int = -1
+    busy_seconds: float = 0.0
+    submitted_at: float = 0.0
+    completed_at: float = 0.0
+
+
+@dataclass
+class PoolStats:
+    """Cumulative utilization counters (observability only)."""
+
+    workers: int = 0
+    batches: int = 0
+    tasks: int = 0
+    errors: int = 0
+    respawns: int = 0
+    busy_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "batches": self.batches,
+            "tasks": self.tasks,
+            "errors": self.errors,
+            "respawns": self.respawns,
+            "busy_seconds": round(self.busy_seconds, 6),
+        }
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.process.BaseProcess
+    task_queue: object
+    #: Index of the batch task this worker is running (None when idle).
+    running: Optional[int] = None
+    submitted_at: float = field(default=0.0)
+
+
+class ProcessPool:
+    """A fixed-width pool of persistent spawn workers.
+
+    Parameters
+    ----------
+    workers:
+        Pool width; sized from ``EngineConfig.local_parallelism`` by the
+        engine.  Must be positive.
+    respawn_limit:
+        Total replacement workers allowed before the pool breaks.
+    task_attempts:
+        Attempts per task (including the first) before the pool breaks.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        respawn_limit: int = DEFAULT_RESPAWN_LIMIT,
+        task_attempts: int = DEFAULT_TASK_ATTEMPTS,
+    ):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.width = workers
+        self.respawn_limit = respawn_limit
+        self.task_attempts = task_attempts
+        self.stats = PoolStats(workers=workers)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: List[_Worker] = []
+        self._result_queue = None
+        self._started = False
+        self._broken = False
+        self._closed = False
+        self._batch_seq = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def ensure_started(self) -> None:
+        """Start the workers (idempotent; raises PoolBrokenError on failure)."""
+        if self._broken or self._closed:
+            raise PoolBrokenError("process pool is no longer usable")
+        if self._started:
+            return
+        try:
+            self._result_queue = self._ctx.Queue()
+            for worker_id in range(self.width):
+                self._workers.append(self._spawn(worker_id))
+        except Exception as exc:
+            self._broken = True
+            self._teardown()
+            raise PoolBrokenError(f"process pool failed to start: {exc!r}") from exc
+        self._started = True
+
+    def _spawn(self, worker_id: int) -> _Worker:
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_loop,
+            args=(worker_id, task_queue, self._result_queue),
+            name=f"repro-procpool-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return _Worker(process=process, task_queue=task_queue)
+
+    def close(self) -> None:
+        """Stop every worker and release the queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown()
+
+    def _teardown(self) -> None:
+        for worker in self._workers:
+            if worker.process.is_alive():
+                try:
+                    worker.task_queue.put(None)
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.task_queue.close()
+            except Exception:  # pragma: no cover
+                pass
+        if self._result_queue is not None:
+            try:
+                self._result_queue.close()
+            except Exception:  # pragma: no cover
+                pass
+            self._result_queue = None
+        self._workers.clear()
+        self._started = False
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- batch execution ---------------------------------------------------
+
+    def run_tasks(
+        self, tasks: Sequence[Tuple[Callable[[object], object], object]]
+    ) -> List[TaskOutcome]:
+        """Run ``(fn, payload)`` tasks and return outcomes in submission order.
+
+        Task exceptions come back as ``outcome.error`` (never raised here —
+        the caller owns ordering semantics).  Worker crashes trigger
+        respawn + retry; past the budgets the pool breaks with
+        :class:`PoolBrokenError` carrying the finished outcomes.
+        """
+        self.ensure_started()
+        total = len(tasks)
+        if total == 0:
+            return []
+        self.stats.batches += 1
+        self._batch_seq += 1
+        batch = self._batch_seq
+
+        outcomes: Dict[int, TaskOutcome] = {}
+        attempts: Dict[int, int] = {}
+        backlog: List[int] = list(range(total))
+
+        def assign(worker: _Worker) -> None:
+            if worker.running is not None or not backlog:
+                return
+            index = backlog[0]
+            fn, payload = tasks[index]
+            # pre-pickle in the caller: multiprocessing queues serialize in
+            # a background feeder thread where an unpicklable task would
+            # fail *silently* and hang the driver — here it breaks the pool
+            # synchronously and the caller falls back to threads
+            try:
+                blob = pickle.dumps(((batch, index), fn, payload))
+            except Exception as exc:
+                self._broken = True
+                self._teardown()
+                raise PoolBrokenError(
+                    f"task {index} is not picklable: {exc!r}",
+                    completed=dict(outcomes),
+                ) from exc
+            backlog.pop(0)
+            attempts[index] = attempts.get(index, 0) + 1
+            worker.running = index
+            worker.submitted_at = time.perf_counter()
+            worker.task_queue.put(blob)
+
+        for worker in self._workers:
+            assign(worker)
+
+        while len(outcomes) < total:
+            try:
+                worker_id, task_id, blob, busy = self._result_queue.get(timeout=0.2)
+            except queue_mod.Empty:
+                self._reap_crashes(outcomes, backlog, attempts)
+                for worker in self._workers:
+                    assign(worker)
+                continue
+            result_batch, index = task_id
+            if result_batch != batch or index in outcomes:
+                # stale delivery: a retried task's first result surfacing
+                # late (the retry already counted) — drop it
+                continue
+            worker = self._workers[worker_id]
+            outcome = TaskOutcome(
+                index=index,
+                worker_id=worker_id,
+                busy_seconds=busy,
+                submitted_at=worker.submitted_at,
+                completed_at=time.perf_counter(),
+            )
+            status, payload = pickle.loads(blob)
+            if status == ERR:
+                outcome.error = decode_error(payload)
+                self.stats.errors += 1
+            else:
+                outcome.value = payload
+            outcomes[index] = outcome
+            self.stats.tasks += 1
+            self.stats.busy_seconds += busy
+            worker.running = None
+            assign(worker)
+
+        return [outcomes[i] for i in range(total)]
+
+    def _reap_crashes(
+        self,
+        outcomes: Dict[int, TaskOutcome],
+        backlog: List[int],
+        attempts: Dict[int, int],
+    ) -> None:
+        """Replace dead workers; requeue their tasks or break the pool."""
+        for worker_id, worker in enumerate(self._workers):
+            if worker.process.is_alive():
+                continue
+            casualty = worker.running
+            if (
+                self.stats.respawns >= self.respawn_limit
+                or (
+                    casualty is not None
+                    and attempts.get(casualty, 0) >= self.task_attempts
+                )
+            ):
+                self._broken = True
+                self._teardown()
+                raise PoolBrokenError(
+                    f"worker {worker_id} died"
+                    + (f" running task {casualty}" if casualty is not None else "")
+                    + f" (respawns={self.stats.respawns}, "
+                    f"limit={self.respawn_limit}); pool is broken",
+                    completed=dict(outcomes),
+                )
+            self.stats.respawns += 1
+            try:
+                worker.task_queue.close()
+            except Exception:  # pragma: no cover
+                pass
+            self._workers[worker_id] = self._spawn(worker_id)
+            if casualty is not None:
+                backlog.insert(0, casualty)
+
+    def __repr__(self) -> str:
+        state = (
+            "closed" if self._closed
+            else "broken" if self._broken
+            else "started" if self._started
+            else "cold"
+        )
+        return f"ProcessPool(width={self.width}, {state}, {self.stats.as_dict()})"

@@ -1,0 +1,52 @@
+"""Task functions for exercising the pool's failure paths from tests.
+
+These live in the package (not in test modules) so spawn workers can always
+import them by reference, regardless of how the test session's modules are
+laid out on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def echo_task(payload):
+    """Return the payload unchanged."""
+    return payload
+
+
+def double_task(payload):
+    """Arithmetic smoke task."""
+    return payload * 2
+
+
+def sleep_task(payload):
+    """Sleep ``payload`` seconds, then return it."""
+    time.sleep(float(payload))
+    return payload
+
+
+def fail_task(payload):
+    """Raise a ValueError (an ordinary task *error*, not a crash)."""
+    raise ValueError(f"fail_task: {payload!r}")
+
+
+def crash_task(payload):
+    """Kill the worker process outright (simulates a segfault/OOM kill)."""
+    code = payload.get("code", 1) if isinstance(payload, dict) else 1
+    os._exit(int(code))
+
+
+def crash_once_task(payload):
+    """Crash on first execution, succeed on retry.
+
+    ``payload`` is a path used as the crash marker: the first worker to run
+    the task creates it and dies; the retry sees it and returns normally.
+    """
+    marker = str(payload)
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("crashed")
+        os._exit(1)
+    return "recovered"

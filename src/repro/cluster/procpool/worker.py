@@ -1,0 +1,78 @@
+"""The process-pool worker loop (runs in a spawned child process).
+
+Deliberately tiny and generic: a worker pulls ``(task_id, fn, payload)``
+tuples off its private task queue, runs ``fn(payload)``, and pushes the
+result back on the shared result queue.  The function arrives pickled by
+reference (its defining module is imported in the child), so the pool stays
+a pure substrate — *what* runs in a task is decided entirely by the caller,
+which keeps this package free of any dependency on the planning layers.
+
+Results are pre-pickled by the worker itself: :mod:`multiprocessing` queues
+serialize in a background feeder thread, where an unpicklable object would
+fail silently and strand the driver.  Pickling in the worker turns that
+failure mode into an ordinary reported error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+
+#: Message statuses on the result queue.
+OK = "ok"
+ERR = "err"
+
+
+def encode_error(exc: BaseException) -> tuple:
+    """A picklable description of *exc* (the exception itself if it pickles,
+    else its traceback text)."""
+    text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        blob = pickle.dumps(exc)
+        # dumps alone is not proof: exceptions whose constructors take
+        # non-message arguments can serialize fine and explode on loads
+        # (Exception.__reduce__ replays cls(*args)); verify the round trip
+        # here so the driver never has to guess
+        pickle.loads(blob)
+        return ("pickled", blob, text)
+    except Exception:
+        return ("text", None, text)
+
+
+def decode_error(encoded: tuple) -> BaseException:
+    """The original exception when possible, else a RuntimeError carrying
+    the remote traceback."""
+    kind, blob, text = encoded
+    if kind == "pickled":
+        try:
+            return pickle.loads(blob)
+        except Exception:  # pragma: no cover - defensive
+            pass
+    return RuntimeError(f"process-pool task failed remotely:\n{text}")
+
+
+def worker_loop(worker_id: int, task_queue, result_queue) -> None:
+    """Entry point of one pool worker; exits on the ``None`` sentinel.
+
+    Tasks arrive as pre-pickled blobs (the driver serializes them itself so
+    pickling failures surface synchronously instead of stranding the queue's
+    feeder thread); the ``None`` shutdown sentinel is sent unpickled.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        task_id, fn, payload = pickle.loads(item)
+        start = time.perf_counter()
+        try:
+            value = fn(payload)
+            blob = pickle.dumps((OK, value))
+        except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
+            blob = pickle.dumps((ERR, encode_error(exc)))
+        busy = time.perf_counter() - start
+        try:
+            result_queue.put((worker_id, task_id, blob, busy))
+        except Exception:  # pragma: no cover - queue torn down under us
+            os._exit(70)

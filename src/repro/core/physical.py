@@ -341,9 +341,12 @@ def run_physical_plan(
     ``parallelism <= 1`` is sequential-equivalent mode: units run in the
     fusion plan's original order and each unit's dead inputs are released
     the moment it completes.  ``parallelism > 1`` dispatches each dependency
-    wave concurrently through :func:`parallel_map`; results merge in unit
-    index order and releases happen after the wave, so outputs and modeled
-    totals match the sequential run exactly.
+    wave concurrently — through :func:`parallel_map` threads by default, or
+    through the engine's process pool when
+    ``EngineConfig(execution_backend="process")`` is eligible (see
+    :func:`repro.core.procexec.make_wave_runner`); either way results merge
+    in unit index order at the wave barrier, so outputs and modeled totals
+    match the sequential run exactly.
 
     During a wave *env* is only read (all writes happen at the merge
     barrier), which is what makes concurrent unit execution safe.
@@ -373,15 +376,26 @@ def run_physical_plan(
             env[op.unit.output.node_id] = result
 
     def release_key(key: EnvKey) -> None:
-        if env.pop(key, None) is not None:
+        value = env.pop(key, None)
+        if value is not None:
             metrics.bump("env_keys_released")
+            if runner is not None:
+                runner.release(value)
 
+    runner = None
     if parallelism <= 1:
         for op in physical.ops:
             merge(op, run_op(op))
             for key in op.releases:
                 release_key(key)
         return
+
+    if getattr(engine, "config", None) is not None and (
+        engine.config.execution_backend == "process"
+    ):
+        from repro.core.procexec import make_wave_runner
+
+        runner = make_wave_runner(engine, cluster)
 
     # Waves run units out of index order, so the index-based ``releases``
     # annotation would free keys a later-wave, smaller-index consumer still
@@ -394,28 +408,43 @@ def run_physical_plan(
             if key in releasable:
                 remaining.setdefault(key, set()).add(op.index)
 
-    for wave in physical.waves():
-        metrics.bump("unit_waves")
-        metrics.bump_max("unit_wave_width_max", len(wave))
-        wave_start = metrics.num_stages
-        results = parallel_map(
-            run_op, wave, parallelism, metrics=metrics,
-            counter_prefix="unit_pool",
-        )
-        # restore unit-index record order within the wave so the stage list
-        # (and every order-sensitive float sum over it) is bit-identical to
-        # the sequential run
-        metrics.reorder_tail(
-            wave_start,
-            key=lambda s: s.unit if s.unit is not None else len(physical.ops),
-        )
-        for op, result in zip(wave, results):
-            merge(op, result)
-        for op in wave:
-            for key in op.consumes:
-                consumers = remaining.get(key)
-                if consumers is not None:
-                    consumers.discard(op.index)
-                    if not consumers:
-                        del remaining[key]
-                        release_key(key)
+    try:
+        for wave in physical.waves():
+            metrics.bump("unit_waves")
+            metrics.bump_max("unit_wave_width_max", len(wave))
+            if runner is not None and not runner.broken and len(wave) > 1:
+                # process backend: workers return StageRecords + output
+                # refs; the runner commits them in unit-index order (the
+                # order ``reorder_tail`` below restores for threads)
+                runner.run_wave(wave, env, run_op, merge, unit_observer)
+            else:
+                wave_start = metrics.num_stages
+                results = parallel_map(
+                    run_op, wave, parallelism, metrics=metrics,
+                    counter_prefix="unit_pool",
+                )
+                # restore unit-index record order within the wave so the
+                # stage list (and every order-sensitive float sum over it)
+                # is bit-identical to the sequential run
+                metrics.reorder_tail(
+                    wave_start,
+                    key=lambda s: (
+                        s.unit if s.unit is not None else len(physical.ops)
+                    ),
+                )
+                for op, result in zip(wave, results):
+                    merge(op, result)
+            for op in wave:
+                for key in op.consumes:
+                    consumers = remaining.get(key)
+                    if consumers is not None:
+                        consumers.discard(op.index)
+                        if not consumers:
+                            del remaining[key]
+                            release_key(key)
+    finally:
+        if runner is not None:
+            # results must outlive the store: copy store-backed root
+            # outputs out of shared memory, then unlink every segment
+            runner.detach_roots(physical, env)
+            runner.finish()

@@ -1,0 +1,385 @@
+"""Process-backend execution of physical-plan units.
+
+This module is the bridge between the typed unit graph
+(:mod:`repro.core.physical`) and the generic process substrate
+(:mod:`repro.cluster.procpool`).  It owns three things:
+
+* **task-descriptor extraction** — :func:`build_unit_task` turns a
+  :class:`~repro.core.physical.UnitOp` into a small picklable
+  :class:`UnitTask`: the engine class (pickled by reference), its frozen
+  config, the unit op itself, and :class:`~repro.cluster.procpool.MatrixRef`
+  handles for exactly the env keys the unit consumes;
+* **the worker entry point** — :func:`execute_unit_task` runs in a pool
+  worker: it rebuilds the engine from its config, opens zero-copy views of
+  the consumed matrices, executes the unit against a **fresh, worker-local**
+  :class:`~repro.cluster.executor.SimulatedCluster`, writes outputs back
+  through the store, and returns the unit's stage records.  Stage modeled
+  time is a pure function of the config and the stage's own totals under the
+  aggregate time model, so records computed in a worker are *identical* to
+  what the driver would have recorded;
+* **the deterministic merge** — :class:`ProcessWaveRunner` dispatches one
+  dependency wave, then commits results in unit-index order at the wave
+  barrier: stage records append to the driver's metrics in exactly the order
+  the thread scheduler's ``reorder_tail`` would produce, trace events are
+  replayed on the driver's modeled clock, and outputs enter the shared env —
+  so outputs stay bit-identical and modeled totals unchanged versus the
+  sequential run.
+
+Failure policy: worker crashes respawn (bounded, inside the pool); when the
+pool breaks, the runner falls back to driver-side execution for the
+remaining units and the scheduler continues on the thread backend — with a
+``RuntimeWarning`` and a ``procpool.fallback`` telemetry event, never a
+wrong answer.  Ordinary task exceptions are re-raised in unit-index order,
+matching serial semantics, after the preceding units' records are merged.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.cluster.executor import SimulatedCluster
+from repro.cluster.metrics import StageRecord
+from repro.cluster.procpool import (
+    MatrixRef,
+    PoolBrokenError,
+    ProcessPool,
+    SharedBlockStore,
+    open_matrix,
+    write_matrix,
+)
+from repro.config import EngineConfig
+
+if TYPE_CHECKING:  # avoid a physical <-> procexec import cycle at runtime
+    from repro.core.physical import UnitOp
+
+
+# ---------------------------------------------------------------------------
+# task descriptors
+
+
+@dataclass
+class UnitTask:
+    """Everything a worker needs to execute one unit, picklable and small.
+
+    Matrix payloads travel through the block store, not the descriptor —
+    ``env_refs`` holds :class:`MatrixRef` handles keyed the same way the
+    scheduler's env is (node ids for operator outputs, names for inputs).
+    """
+
+    engine_cls: type
+    config: EngineConfig
+    op: "UnitOp"
+    env_refs: Dict[object, MatrixRef]
+    output_dir: str
+
+
+@dataclass
+class UnitOutcome:
+    """What a worker hands back: records + output refs (or an error)."""
+
+    records: List[StageRecord] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: A single ref, or ``{node_id: ref}`` for multi-output units.
+    output: object = None
+    error: Optional[tuple] = None
+
+
+def build_unit_task(
+    engine, op: "UnitOp", env: Mapping[object, object], store: SharedBlockStore
+) -> UnitTask:
+    """Extract the picklable task descriptor for *op*.
+
+    Registers each consumed env value in the store (a payload already
+    registered — or produced by an earlier wave's worker — is reused, so a
+    matrix crosses the process boundary at most once per query).
+    """
+    refs = {key: store.register(env[key]) for key in op.consumes if key in env}
+    return UnitTask(
+        engine_cls=type(engine),
+        config=engine.config,
+        op=op,
+        env_refs=refs,
+        output_dir=store.directory,
+    )
+
+
+# ---------------------------------------------------------------------------
+# worker side
+
+#: Engine instances are stateless during ``run_unit`` (the lowering-time
+#: annotations carry every decision), so one rebuilt engine per
+#: (class, config) serves every task a worker runs.
+_ENGINE_CACHE: Dict[tuple, object] = {}
+
+
+def _worker_engine(engine_cls: type, config: EngineConfig):
+    key = (engine_cls, repr(config))
+    engine = _ENGINE_CACHE.get(key)
+    if engine is None:
+        engine = engine_cls(config)
+        _ENGINE_CACHE[key] = engine
+    return engine
+
+
+def execute_unit_task(task: UnitTask) -> UnitOutcome:
+    """Pool-worker entry point: run one unit and write results to the store.
+
+    Never raises for unit-level failures — the stage records accumulated
+    before the failure (including aborted-stage traffic, mirroring the
+    driver path) ride back with the encoded error so the driver's metrics
+    stay faithful.
+    """
+    from repro.cluster.procpool.worker import encode_error
+
+    engine = _worker_engine(task.engine_cls, task.config)
+    cluster = SimulatedCluster(task.config)
+    closers: List[Callable[[], None]] = []
+    env: Dict[object, object] = {}
+    outcome = UnitOutcome()
+    try:
+        for key, ref in task.env_refs.items():
+            matrix, close = open_matrix(ref)
+            env[key] = matrix
+            closers.append(close)
+        op = task.op
+        try:
+            with cluster.unit_scope(op.index):
+                result = engine.run_unit(op, cluster, env)
+            if isinstance(result, dict):
+                outcome.output = {
+                    node.node_id: write_matrix(matrix, task.output_dir)
+                    for node, matrix in result.items()
+                }
+            else:
+                outcome.output = write_matrix(result, task.output_dir)
+        except Exception as exc:  # noqa: BLE001 - shipped to the driver
+            outcome.error = encode_error(exc)
+        outcome.records = list(cluster.metrics.stages)
+        outcome.counters = dict(cluster.metrics.counters)
+        return outcome
+    finally:
+        env.clear()
+        # stage/task bookkeeping forms reference cycles that can keep numpy
+        # views of the shared segments alive past this frame; collect now so
+        # every attachment closes cleanly (a view surviving close would make
+        # SharedMemory's destructor raise BufferError noise at gc time)
+        del cluster
+        gc.collect()
+        for close in closers:
+            close()
+
+
+#: The function dispatched for unit tasks.  Module-level and swappable so
+#: crash-injection tests can point it at ``procpool.testing.crash_task``.
+_UNIT_TASK_FN: Callable[[UnitTask], UnitOutcome] = execute_unit_task
+
+
+def unit_task_fn() -> Callable[[UnitTask], UnitOutcome]:
+    return _UNIT_TASK_FN
+
+
+# ---------------------------------------------------------------------------
+# driver side
+
+
+def _emit_fallback(engine, metrics, reason: str) -> None:
+    """The never-a-wrong-answer demotion: warn + count + telemetry event."""
+    warnings.warn(
+        f"process execution backend falling back to threads: {reason}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    metrics.bump("procpool_fallbacks")
+    bus = getattr(engine, "telemetry", None)
+    if bus is not None and getattr(bus, "active", False):
+        from repro.obs import TelemetryEvent
+
+        bus.emit(TelemetryEvent(
+            name="procpool.fallback",
+            kind="event",
+            attrs={"engine": getattr(engine, "name", "?"), "reason": reason},
+        ))
+
+
+def replay_records(
+    records: List[StageRecord], cluster: SimulatedCluster
+) -> None:
+    """Commit worker-computed stage records to the driver's accounting.
+
+    Mirrors ``Stage.close``: records append in the given order, trace
+    stage/transfer events are emitted on the driver's modeled clock, and
+    the per-query simulated timeout is enforced.
+    """
+    for record in records:
+        start = cluster.metrics.elapsed_seconds
+        cluster.metrics.record(record)
+        if cluster.trace is not None and not record.aborted:
+            cluster.trace.stage(
+                record.name,
+                start,
+                start + record.seconds,
+                num_tasks=record.num_tasks,
+                attempts=record.attempts,
+                skew_ratio=record.skew_ratio,
+            )
+            cluster.trace.transfer(
+                record.name,
+                start + record.seconds,
+                record.consolidation_bytes,
+                record.aggregation_bytes,
+            )
+    cluster._check_timeout()
+
+
+class ProcessWaveRunner:
+    """Dispatches dependency waves to the engine's worker pool.
+
+    Created per ``run_physical_plan`` call when the process backend is
+    eligible; owns the query's :class:`SharedBlockStore` (closed by
+    :meth:`finish`).  ``broken`` flips when the pool gives up — the
+    scheduler then continues on the thread path for the rest of the query.
+    """
+
+    def __init__(self, engine, cluster: SimulatedCluster, pool: ProcessPool):
+        self.engine = engine
+        self.cluster = cluster
+        self.pool = pool
+        self.store = SharedBlockStore()
+        self.broken = False
+
+    # -- wave dispatch -----------------------------------------------------
+
+    def run_wave(
+        self,
+        wave: List["UnitOp"],
+        env: Dict[object, object],
+        run_op: Callable[["UnitOp"], object],
+        merge: Callable[["UnitOp", object], None],
+        unit_observer: Optional[Callable] = None,
+    ) -> None:
+        """Execute one wave on the pool; commit results in unit-index order.
+
+        *run_op*/*merge* are the scheduler's driver-side callbacks, used
+        both for the crash-fallback path and (merge) for adopted results.
+        """
+        metrics = self.cluster.metrics
+        tasks = []
+        fn = unit_task_fn()
+        for op in wave:
+            tasks.append((fn, build_unit_task(self.engine, op, env, self.store)))
+        metrics.bump("procpool_tasks", len(tasks))
+        metrics.bump("procpool_batches")
+        metrics.bump_max("procpool_width_max", min(self.pool.width, len(tasks)))
+
+        completed: Dict[int, object] = {}
+        try:
+            outcomes = self.pool.run_tasks(tasks)
+            completed = {i: o for i, o in enumerate(outcomes)}
+        except PoolBrokenError as broken:
+            self.broken = True
+            completed = dict(broken.completed)
+            _emit_fallback(self.engine, metrics, str(broken))
+
+        busy_ms = 0
+        for position, op in enumerate(wave):
+            outcome = completed.get(position)
+            value = outcome.value if outcome is not None else None
+            usable = (
+                outcome is not None
+                and outcome.error is None
+                and isinstance(value, UnitOutcome)
+            )
+            if usable and value.error is None:
+                self._commit(op, value, env, merge)
+                busy_ms += int(outcome.busy_seconds * 1000)
+                if unit_observer is not None:
+                    unit_observer(op, outcome.submitted_at, outcome.completed_at)
+            elif usable:  # the unit itself failed: serial semantics
+                replay_records(value.records, self.cluster)
+                from repro.cluster.procpool.worker import decode_error
+
+                raise decode_error(value.error)
+            elif outcome is not None and outcome.error is not None:
+                # task function raised outside the unit guard (pickling,
+                # store attach, injected test failures): rerun locally
+                self._rerun_locally(op, run_op, merge, repr(outcome.error))
+            else:
+                self._rerun_locally(op, run_op, merge, "worker crashed")
+        if busy_ms:
+            metrics.bump("procpool_busy_ms", busy_ms)
+
+    def _rerun_locally(self, op, run_op, merge, reason: str) -> None:
+        if not self.broken:
+            self.broken = True
+            _emit_fallback(self.engine, self.cluster.metrics, reason)
+        merge(op, run_op(op))
+
+    def _commit(self, op, value: UnitOutcome, env, merge) -> None:
+        replay_records(value.records, self.cluster)
+        for name, amount in value.counters.items():
+            self.cluster.metrics.bump(f"worker_{name}", amount)
+        if isinstance(value.output, dict):
+            for node_id, ref in value.output.items():
+                env[node_id] = self.store.adopt(ref)
+        else:
+            merge(op, self.store.adopt(value.output))
+
+    # -- store-backed env hygiene -----------------------------------------
+
+    def release(self, matrix) -> None:
+        """Unlink the store segment behind a released env value."""
+        self.store.release(matrix)
+
+    def detach_roots(self, physical, env: Dict[object, object]) -> None:
+        """Replace store-backed root outputs with private copies.
+
+        Results must outlive the store (whose segments unlink in
+        :meth:`finish`), so anything a DAG root still references is deep
+        copied out of shared memory here.
+        """
+        from repro.core.physical import _root_keys
+
+        for key in _root_keys(physical.dag):
+            value = env.get(key)
+            if value is not None and self.store.owns(value):
+                env[key] = self.store.detach_copy(value)
+
+    def finish(self) -> None:
+        self.store.close()
+
+
+def make_wave_runner(
+    engine, cluster: SimulatedCluster
+) -> Optional[ProcessWaveRunner]:
+    """A :class:`ProcessWaveRunner` when the process backend can run, else
+    ``None`` (after emitting the demotion warning when appropriate).
+
+    Eligibility: the engine must expose a pool (``Engine._ensure_procpool``),
+    and the config's time model must be ``"aggregate"`` — the scheduled
+    runtime's slot timelines are cluster-global state that worker-local
+    clusters cannot reproduce, so it stays on the thread backend.
+    """
+    ensure = getattr(engine, "_ensure_procpool", None)
+    if ensure is None:
+        return None
+    if engine.config.time_model != "aggregate":
+        _emit_fallback(
+            engine,
+            cluster.metrics,
+            'execution_backend="process" requires time_model="aggregate"',
+        )
+        return None
+    try:
+        pickle.dumps(type(engine))
+    except Exception:
+        _emit_fallback(engine, cluster.metrics, "engine class is not picklable")
+        return None
+    pool = ensure()
+    if pool is None:
+        _emit_fallback(engine, cluster.metrics, "worker pool unavailable")
+        return None
+    return ProcessWaveRunner(engine, cluster, pool)

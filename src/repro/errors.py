@@ -61,6 +61,13 @@ class TaskOutOfMemoryError(ExecutionError):
             f"budget is {budget_bytes} bytes"
         )
 
+    # exceptions with non-message constructor arguments must spell out how
+    # to rebuild themselves, or pickling (used by the process execution
+    # backend to ship worker-side failures to the driver) degrades them to
+    # a generic RuntimeError carrying only the traceback text
+    def __reduce__(self):
+        return (type(self), (self.task_id, self.used_bytes, self.budget_bytes))
+
 
 class TaskRetriesExceededError(ExecutionError):
     """A simulated task failed on every allowed attempt (crash/node loss).
@@ -77,6 +84,9 @@ class TaskRetriesExceededError(ExecutionError):
             f"task {task_id} failed on all {attempts} allowed attempts"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.task_id, self.attempts))
+
 
 class ClusterLostError(ExecutionError):
     """Every node was lost mid-stage; no slots remain to retry on."""
@@ -87,6 +97,9 @@ class ClusterLostError(ExecutionError):
             f"stage {stage_name!r} lost every cluster node; nothing left "
             f"to schedule retries on"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.stage_name,))
 
 
 class SimulatedTimeoutError(ExecutionError):
@@ -99,6 +112,9 @@ class SimulatedTimeoutError(ExecutionError):
             f"simulated time {elapsed_seconds:.1f}s exceeded the "
             f"timeout of {timeout_seconds:.1f}s"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.elapsed_seconds, self.timeout_seconds))
 
 
 class DataError(ReproError, ValueError):
@@ -138,6 +154,12 @@ class QueryTimeoutError(ServingError):
         super().__init__(
             f"query {query_id} waited {waited_seconds:.3f}s in the admission "
             f"queue, exceeding the {timeout_seconds:.3f}s timeout"
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.query_id, self.waited_seconds, self.timeout_seconds),
         )
 
 

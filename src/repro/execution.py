@@ -137,6 +137,43 @@ class Engine(ABC):
         #: The most recent query's :class:`QueryProfile` (None before the
         #: first execute or with ``config.telemetry=False``).
         self.last_profile: Optional[QueryProfile] = None
+        #: Engine-owned worker-process pool
+        #: (``config.execution_backend="process"``).  Lazy: nothing spawns
+        #: until the first eligible wave dispatch; persistent: workers
+        #: survive across executes.  Release with :meth:`close`.
+        self._procpool = None
+
+    # -- process backend -------------------------------------------------------
+
+    def _ensure_procpool(self):
+        """The engine's :class:`~repro.cluster.procpool.ProcessPool`,
+        created on first use; ``None`` when a previous pool broke or was
+        closed (callers then fall back to the thread backend)."""
+        pool = self._procpool
+        if pool is not None:
+            return None if (pool.broken or pool.closed) else pool
+        from repro.cluster.procpool import ProcessPool
+
+        pool = ProcessPool(self.config.local_parallelism)
+        self._procpool = pool
+        return pool
+
+    def close(self) -> None:
+        """Release engine-owned runtime resources (idempotent).
+
+        Today that is the worker-process pool; thread-backend engines hold
+        nothing and close is a no-op.  The engine stays usable afterwards —
+        process-backed executes demote to the thread backend.
+        """
+        pool = self._procpool
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- subclass hooks --------------------------------------------------------
 
@@ -411,6 +448,14 @@ class Engine(ABC):
                                 hits=hit_delta,
                                 misses=miss_delta,
                             )
+
+        if (
+            exec_span is not None
+            and self._procpool is not None
+            and self._procpool.stats.batches
+        ):
+            # pool-lifetime utilization (workers persist across executes)
+            exec_span.attrs["procpool"] = self._procpool.stats.as_dict()
 
         outputs = {root: self._root_value(root, env, inputs) for root in dag.roots}
         metrics = cluster.metrics.diff_since(baseline)

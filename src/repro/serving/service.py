@@ -471,7 +471,10 @@ class MatrixService:
         """Stop accepting queries and shut the dispatcher down.
 
         ``drain=True`` (default) lets already-queued queries finish;
-        ``drain=False`` fails them with ServiceOverloadedError.
+        ``drain=False`` fails them with ServiceOverloadedError.  The
+        engine's runtime resources (the process-backend worker pool) are
+        released after the dispatcher stops, so in-flight queries finish on
+        whatever backend they started with.
         """
         with self._cond:
             self._closed = True
@@ -483,6 +486,9 @@ class MatrixService:
                 f"query {ticket.query_id} dropped: service shutting down"
             ))
         self._dispatcher.join(timeout)
+        closer = getattr(self.engine, "close", None)
+        if closer is not None:
+            closer()
 
     def __enter__(self) -> "MatrixService":
         return self

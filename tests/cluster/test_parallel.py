@@ -1,0 +1,63 @@
+"""Guard tests for the thread dispatch seam (`repro.cluster.parallel`)."""
+
+import pytest
+
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.parallel import parallel_map
+
+
+def test_results_in_submission_order():
+    assert parallel_map(lambda x: x * x, range(8), parallelism=4) == [
+        0, 1, 4, 9, 16, 25, 36, 49,
+    ]
+
+
+@pytest.mark.parametrize("bad", [0, -1, -8])
+def test_nonpositive_parallelism_raises(bad):
+    with pytest.raises(ValueError, match="parallelism must be positive"):
+        parallel_map(lambda x: x, [1, 2, 3], parallelism=bad)
+
+
+def test_nonpositive_parallelism_raises_even_for_serial_shapes():
+    # the guard fires before the serial short-circuits (<=1 item, etc.):
+    # a bad worker count is a caller bug regardless of batch size
+    with pytest.raises(ValueError):
+        parallel_map(lambda x: x, [1], parallelism=0)
+    with pytest.raises(ValueError):
+        parallel_map(lambda x: x, [], parallelism=-2)
+
+
+def test_no_nested_pools():
+    """A parallel_map reached from inside a pool worker degrades to the
+    serial loop instead of nesting a second thread pool."""
+    metrics = MetricsCollector()
+
+    def outer(item):
+        # inner map with its own metrics: if it ran on a pool it would bump
+        # inner_batches; the nested-pool guard must keep it serial
+        inner_metrics = MetricsCollector()
+        inner = parallel_map(
+            lambda x: x + 1, [10, 20, 30], parallelism=4,
+            metrics=inner_metrics, counter_prefix="inner",
+        )
+        assert inner_metrics.counters.get("inner_batches", 0) == 0
+        return (item, inner)
+
+    results = parallel_map(
+        outer, [1, 2, 3, 4], parallelism=4,
+        metrics=metrics, counter_prefix="outer",
+    )
+    assert results == [(i, [11, 21, 31]) for i in (1, 2, 3, 4)]
+    # the outer map itself did use the pool
+    assert metrics.counters["outer_batches"] == 1
+    assert metrics.counters["outer_tasks"] == 4
+
+
+def test_exceptions_propagate_in_submission_order():
+    def fn(item):
+        if item % 2:
+            raise RuntimeError(f"item {item}")
+        return item
+
+    with pytest.raises(RuntimeError, match="item 1"):
+        parallel_map(fn, [0, 1, 2, 3], parallelism=4)

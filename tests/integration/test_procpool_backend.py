@@ -1,0 +1,195 @@
+"""Equivalence + fault suite for the process execution backend.
+
+The contract under test (DESIGN.md §12): with
+``EngineConfig(execution_backend="process")`` every engine produces
+**bit-identical outputs** and **unchanged modeled totals** versus its
+sequential thread-backend run — and failures (worker crashes, ineligible
+configurations) demote to the thread backend with a RuntimeWarning, never
+a wrong answer.
+"""
+
+import warnings
+
+import pytest
+
+import repro.core.procexec as procexec
+from repro import (
+    DistMELikeEngine,
+    FuseMEEngine,
+    LocalXLAEngine,
+    MatFastLikeEngine,
+    SystemDSLikeEngine,
+)
+from repro.cluster.procpool.testing import crash_task
+from repro.matrix import rand_dense, rand_sparse
+from repro.workloads.gnmf import gnmf_updates
+
+from tests.conftest import make_config
+
+BS = 20
+
+ENGINES = [
+    FuseMEEngine,
+    DistMELikeEngine,
+    SystemDSLikeEngine,
+    MatFastLikeEngine,
+    LocalXLAEngine,
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The two-root GNMF update: two independent unit chains per query."""
+    q = gnmf_updates(100, 80, 20, density=0.2, block_size=BS)
+    inputs = {
+        "X": rand_sparse(100, 80, density=0.2, block_size=BS, seed=11),
+        "U": rand_dense(20, 80, BS, seed=12, low=0.1, high=1.0),
+        "V": rand_dense(100, 20, BS, seed=13, low=0.1, high=1.0),
+    }
+    return [q.u_update, q.v_update], inputs
+
+
+def _run_process_backend(engine_cls, query, inputs, **options):
+    engine = engine_cls(make_config(
+        block_size=BS,
+        local_parallelism=2,
+        execution_backend="process",
+        **options,
+    ))
+    try:
+        result = engine.execute(query, inputs)
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+    return engine, result
+
+
+def _assert_equivalent(sequential, processed):
+    for root_s, root_p in zip(sequential.dag.roots, processed.dag.roots):
+        a = sequential.outputs[root_s].to_numpy()
+        b = processed.outputs[root_p].to_numpy()
+        assert a.tobytes() == b.tobytes(), "outputs are not bit-identical"
+    assert sequential.metrics.totals() == processed.metrics.totals()
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES, ids=lambda c: c.name)
+def test_process_backend_matches_sequential(engine_cls, workload):
+    query, inputs = workload
+    sequential = engine_cls(make_config(block_size=BS)).execute(query, inputs)
+    with warnings.catch_warnings():
+        # any demotion warning means the process path did NOT run: fail loud
+        warnings.simplefilter("error", RuntimeWarning)
+        _, processed = _run_process_backend(engine_cls, query, inputs)
+    _assert_equivalent(sequential, processed)
+
+
+def test_process_backend_reuses_pool_across_executes(workload):
+    query, inputs = workload
+    engine = FuseMEEngine(make_config(
+        block_size=BS, local_parallelism=2, execution_backend="process"
+    ))
+    try:
+        first = engine.execute(query, inputs)
+        pool = engine._procpool
+        assert pool is not None and pool.started
+        second = engine.execute(query, inputs)
+        assert engine._procpool is pool  # persistent, not per-query
+        assert pool.stats.batches >= 2
+        _assert_equivalent(first, second)
+    finally:
+        engine.close()
+    assert pool.closed
+
+
+def test_worker_crash_falls_back_to_threads(workload, monkeypatch):
+    """Respawn budget exhausted -> PoolBrokenError -> thread fallback.
+
+    Every dispatched task kills its worker, so the pool must break and the
+    scheduler must rerun the units driver-side: same outputs, same modeled
+    totals, plus a warning and a fallback counter — never a wrong answer.
+    """
+    query, inputs = workload
+    sequential = FuseMEEngine(make_config(block_size=BS)).execute(query, inputs)
+    monkeypatch.setattr(procexec, "_UNIT_TASK_FN", crash_task)
+    with pytest.warns(RuntimeWarning, match="falling back to threads"):
+        engine, processed = _run_process_backend(FuseMEEngine, query, inputs)
+    _assert_equivalent(sequential, processed)
+    assert processed.metrics.counters.get("procpool_fallbacks", 0) >= 1
+    # the next execute must not try the broken pool again
+    monkeypatch.undo()
+
+
+def test_unit_error_surfaces_like_serial(workload):
+    """A real in-unit failure (simulated O.O.M.) raises on the driver with
+    the same exception type the sequential run would produce — worker-side
+    unit errors are *unit* semantics, not infrastructure failures."""
+    from repro.errors import TaskOutOfMemoryError
+
+    query, inputs = workload
+    with pytest.raises(TaskOutOfMemoryError):
+        FuseMEEngine(
+            make_config(block_size=BS, task_memory_budget=1024)
+        ).execute(query, inputs)
+    engine = FuseMEEngine(make_config(
+        block_size=BS,
+        task_memory_budget=1024,
+        local_parallelism=2,
+        execution_backend="process",
+    ))
+    try:
+        with pytest.raises(TaskOutOfMemoryError):
+            engine.execute(query, inputs)
+    finally:
+        engine.close()
+
+
+def test_unpicklable_task_breaks_pool_and_falls_back(workload, monkeypatch):
+    """A task fn that cannot be pickled must not hang the dispatch loop: the
+    pool breaks synchronously and the wave reruns on the thread backend."""
+    query, inputs = workload
+    sequential = FuseMEEngine(make_config(block_size=BS)).execute(query, inputs)
+    monkeypatch.setattr(
+        procexec, "_UNIT_TASK_FN", lambda task: None  # closures don't pickle
+    )
+    with pytest.warns(RuntimeWarning, match="falling back to threads"):
+        _, processed = _run_process_backend(FuseMEEngine, query, inputs)
+    _assert_equivalent(sequential, processed)
+
+
+def test_scheduled_time_model_demotes_to_threads(workload):
+    """The per-slot runtime is cluster-global state workers cannot
+    reproduce, so the process backend must refuse it (with a warning) and
+    the thread path must still produce the scheduled-model numbers."""
+    query, inputs = workload
+    sequential = FuseMEEngine(
+        make_config(block_size=BS, time_model="scheduled")
+    ).execute(query, inputs)
+    with pytest.warns(RuntimeWarning, match='time_model="aggregate"'):
+        engine, processed = _run_process_backend(
+            FuseMEEngine, query, inputs, time_model="scheduled"
+        )
+    assert engine._procpool is None  # never even built a pool
+    _assert_equivalent(sequential, processed)
+
+
+def test_service_close_shuts_pool_down(workload):
+    from repro.serving import MatrixService
+
+    query, inputs = workload
+    engine = FuseMEEngine(make_config(
+        block_size=BS, local_parallelism=2, execution_backend="process"
+    ))
+    service = MatrixService(engine)
+    session = service.open_session("tenant-a")
+    result = service.submit(session, query, inputs).result()
+    assert result is not None
+    pool = engine._procpool
+    assert pool is not None and pool.started
+    service.close()
+    assert pool.closed
+
+
+def test_config_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="execution_backend"):
+        make_config(execution_backend="gpu")
