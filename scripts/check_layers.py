@@ -24,7 +24,10 @@ rules the paper's architecture depends on get called out explicitly:
 * ``cluster/procpool`` is a pure substrate: it may never import the
   planning (``core``), serving, or telemetry (``obs``) layers, even if the
   ``cluster`` layer as a whole is someday granted those imports.  The
-  driver-side bridge lives in ``core/procexec.py``, above the substrate.
+  driver-side bridge lives in ``core/procexec.py``, above the substrate;
+* ``core/calibration.py`` consumes plain floats only: it may import nothing
+  above the config layer (in particular never ``serving``), even though the
+  ``core`` layer as a whole is allowed more.
 
 Imports inside ``if TYPE_CHECKING:`` blocks are ignored (annotations only).
 Exit status 0 when clean, 1 with one line per violation otherwise.
@@ -79,6 +82,13 @@ STAGE_ALLOWED_FILES = ("core/cfo.py", "core/physical.py", "core/procexec.py")
 #: substrate — never the planning, serving, or telemetry layers — regardless
 #: of what the wider ``cluster`` layer is allowed.
 PROCPOOL_FORBIDDEN = {"core", "serving", "obs"}
+
+#: ``core/calibration.py`` is the shared store the serving layer publishes
+#: and ``scripts/calibrate.py`` round-trips to disk.  It consumes plain
+#: floats only, so it stays at the very bottom: never the cluster,
+#: execution, or serving stacks — regardless of what the wider ``core``
+#: layer is allowed.
+CALIBRATION_ALLOWED = {"utils", "errors", "config"}
 
 
 def layer_of(path: Path) -> str | None:
@@ -159,6 +169,13 @@ def main() -> int:
                     violations.append(
                         f"{rel}:{lineno}: layer {layer!r} must not import "
                         f"repro.{target}"
+                    )
+        if rel == "core/calibration.py":
+            for lineno, target in repro_imports(tree):
+                if target and target not in CALIBRATION_ALLOWED:
+                    violations.append(
+                        f"{rel}:{lineno}: core/calibration consumes plain "
+                        f"floats and must not import repro.{target}"
                     )
         if rel.startswith("cluster/procpool/"):
             for lineno, target in repro_imports(tree):

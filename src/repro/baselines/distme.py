@@ -19,7 +19,6 @@ from repro.core.physical import (
     UnitAnnotation,
     UnitOp,
     estimate_from_cost,
-    generic_unit_estimate,
 )
 from repro.core.plan import FusionPlan, PartialFusionPlan, PlanUnit
 from repro.execution import Engine
@@ -57,14 +56,26 @@ class DistMELikeEngine(Engine):
             # the unit's plan *is* the single-node plan CuboidMatMul builds,
             # so searching it here yields the same (P, Q, R) the operator's
             # constructor used to find on the execution path
-            result = hint or optimize_parameters(plan, self.config)
+            result = hint or optimize_parameters(
+                plan,
+                self.config,
+                calibration=self.calibration_for("cuboid-mm", plan),
+            )
             return UnitAnnotation(
                 kind="cuboid-mm",
                 pqr=result.pqr,
                 optimizer_result=result,
-                estimate=estimate_from_cost(result.cost),
+                estimate=estimate_from_cost(
+                    result.cost,
+                    paper_seconds=(
+                        result.paper_cost.cost_seconds
+                        if result.paper_cost is not None else None
+                    ),
+                ),
             )
-        return UnitAnnotation(kind="cell", estimate=generic_unit_estimate(unit))
+        return UnitAnnotation(
+            kind="cell", estimate=self.calibrated_estimate("cell", unit)
+        )
 
     def run_unit(
         self,

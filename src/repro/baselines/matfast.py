@@ -15,7 +15,7 @@ from repro.cluster.executor import SimulatedCluster
 from repro.config import EngineConfig
 from repro.core.cfg import _cell_fuse_leftovers, _order_units
 from repro.core.optimizer import OptimizerResult
-from repro.core.physical import UnitAnnotation, UnitOp, generic_unit_estimate
+from repro.core.physical import UnitAnnotation, UnitOp
 from repro.core.plan import FusionPlan, PartialFusionPlan, PlanUnit
 from repro.execution import Engine
 from repro.lang.dag import DAG, MatMulNode, TransposeNode
@@ -55,7 +55,7 @@ class MatFastLikeEngine(Engine):
         self, unit: PlanUnit, hint: Optional[OptimizerResult] = None
     ) -> UnitAnnotation:
         kind = "broadcast-mm" if unit.plan.contains_matmul else "cell"
-        return UnitAnnotation(kind=kind, estimate=generic_unit_estimate(unit))
+        return UnitAnnotation(kind=kind, estimate=self.calibrated_estimate(kind, unit))
 
     def run_unit(
         self,

@@ -21,7 +21,7 @@ from typing import Dict, Mapping, Optional
 from repro.cluster.executor import SimulatedCluster
 from repro.config import EngineConfig
 from repro.core.optimizer import OptimizerResult
-from repro.core.physical import UnitAnnotation, UnitOp, generic_unit_estimate
+from repro.core.physical import UnitAnnotation, UnitOp
 from repro.core.plan import FusionPlan, MultiAggPlan, PlanUnit
 from repro.execution import Engine
 from repro.baselines.gen import GenPlanner
@@ -75,7 +75,7 @@ class SystemDSLikeEngine(Engine):
                 kind = f"{self._standalone_strategy(plan)}?"
             else:
                 kind = f"{self._fused_strategy(plan)}?"
-        return UnitAnnotation(kind=kind, estimate=generic_unit_estimate(unit))
+        return UnitAnnotation(kind=kind, estimate=self.calibrated_estimate(kind, unit))
 
     def run_unit(
         self,

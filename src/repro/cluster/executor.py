@@ -31,6 +31,7 @@ failed run's partial traffic remains visible in its metrics.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -54,6 +55,10 @@ class Stage:
         #: Physical-plan unit this stage belongs to (captured from the
         #: cluster's per-thread unit scope at creation), None outside one.
         self.unit = cluster.current_unit
+        # wall-clock anchor for StageRecord.wall_seconds; taken here so the
+        # measurement covers the stage body wherever it runs — driver
+        # thread, pool thread, or a process-pool worker
+        self._wall_start = time.perf_counter()
 
     def task(self) -> TaskContext:
         """Allocate the next task of this stage."""
@@ -125,6 +130,7 @@ class Stage:
             skew_ratio=self._skew_ratio() if skew is None else skew,
             aborted=aborted,
             unit=self.unit,
+            wall_seconds=time.perf_counter() - self._wall_start,
         )
         self._cluster.metrics.record(record)
         return record

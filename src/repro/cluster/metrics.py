@@ -37,6 +37,12 @@ class StageRecord:
     #: Physical-plan unit index this stage ran for (None outside a unit
     #: scope — e.g. hand-opened stages in tests).
     unit: "int | None" = None
+    #: Real wall-clock seconds the stage took to evaluate, measured where
+    #: the stage ran (also inside process-pool workers, whose records ship
+    #: back whole).  Observability/calibration only — never part of
+    #: :meth:`MetricsCollector.totals`, which stays comparable across runs
+    #: and backends.
+    wall_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.attempts < 0:
@@ -195,6 +201,7 @@ class MetricsCollector:
                 "comm_bytes": sum(s.comm_bytes for s in stages),
                 "flops": sum(s.flops for s in stages),
                 "elapsed_seconds": sum(s.seconds for s in stages),
+                "wall_seconds": sum(s.wall_seconds for s in stages),
             }
             for unit, stages in sorted(grouped.items())
         }

@@ -22,6 +22,9 @@ TIME_MODELS = ("aggregate", "scheduled")
 #: Valid values for :attr:`EngineConfig.execution_backend`.
 EXECUTION_BACKENDS = ("thread", "process")
 
+#: Valid values for :attr:`EngineConfig.calibration`.
+CALIBRATION_MODES = ("off", "observe", "active")
+
 GBPS = 1e9 / 8  # bytes per second in one gigabit per second
 GFLOPS = 1e9
 
@@ -150,6 +153,24 @@ class EngineConfig:
     #: outputs are bit-identical at either setting; False removes even the
     #: bookkeeping wall-clock for overhead A/B runs.
     telemetry: bool = True
+    #: Cost-model calibration state machine (:mod:`repro.core.calibration`).
+    #: ``"off"`` (default): paper constants only — every number bit-identical
+    #: to the uncalibrated engine.  ``"observe"``: executions feed the
+    #: per-kernel throughput store but planning is unchanged.  ``"active"``:
+    #: the ``(P, Q, R)`` search and CFG plan costing price with the fitted
+    #: effective throughputs, and cached plans whose observed seconds-error
+    #: crosses :attr:`calibration_replan_threshold` are evicted and
+    #: re-planned with the latest coefficients.
+    calibration: str = "off"
+    #: Observations retained per (kernel kind, sparsity bucket) window.
+    calibration_window: int = 256
+    #: Minimum observations before a kernel's fit is trusted; below it the
+    #: cost model falls back to the pooled kind-wide fit, then to the paper
+    #: constants.
+    calibration_min_samples: int = 3
+    #: Mean abs relative seconds-error above which an ``"active"`` engine
+    #: evicts a cached plan and re-plans it with the latest coefficients.
+    calibration_replan_threshold: float = 0.5
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -172,6 +193,17 @@ class EngineConfig:
             )
         if self.plan_cache_size < 0:
             raise ValueError("plan_cache_size cannot be negative")
+        if self.calibration not in CALIBRATION_MODES:
+            raise ValueError(
+                f"calibration must be one of {CALIBRATION_MODES}, "
+                f"got {self.calibration!r}"
+            )
+        if self.calibration_window <= 0:
+            raise ValueError("calibration_window must be positive")
+        if self.calibration_min_samples < 2:
+            raise ValueError("calibration_min_samples must be at least 2")
+        if self.calibration_replan_threshold <= 0:
+            raise ValueError("calibration_replan_threshold must be positive")
 
     def with_cluster(self, **kwargs) -> "EngineConfig":
         """Return a copy with cluster fields replaced (e.g. ``num_nodes=2``)."""

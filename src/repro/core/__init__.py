@@ -15,9 +15,18 @@
 * :mod:`repro.core.physical` — the physical-plan layer: fusion plans lower
   to a typed unit graph (:class:`UnitOp` DAG) with operator kinds, cuboid
   parameters, cost estimates and materialization lifetimes.
+* :mod:`repro.core.calibration` — per-kernel effective-throughput fitting
+  that closes the predicted-vs-measured loop for the cost model.
 * :mod:`repro.core.engine` — the FuseME engine tying it all together.
 """
 
+from repro.core.calibration import (
+    CalibrationStore,
+    KernelCalibration,
+    Observation,
+    fit_throughput,
+    sparsity_bucket,
+)
 from repro.core.plan import FusionPlan, MultiAggPlan, PartialFusionPlan, PlanUnit
 from repro.core.spaces import AxisKind, SpaceKind, SpaceTree, assign_axis_tags, build_space_tree
 from repro.core.cuboid import CuboidPartitioning, chunk_ranges
@@ -36,6 +45,11 @@ from repro.core.physical import (
 from repro.core.engine import FuseMEEngine
 
 __all__ = [
+    "CalibrationStore",
+    "KernelCalibration",
+    "Observation",
+    "fit_throughput",
+    "sparsity_bucket",
     "PartialFusionPlan",
     "FusionPlan",
     "MultiAggPlan",

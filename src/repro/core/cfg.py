@@ -24,13 +24,21 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.config import EngineConfig
+from repro.core.calibration import KernelCalibration
 from repro.core.optimizer import optimize_parameters
 from repro.core.plan import FusionPlan, MultiAggPlan, PartialFusionPlan, PlanUnit
 from repro.errors import PlanError
 from repro.lang.dag import AggNode, DAG, MatMulNode, Node
+
+#: Resolves fitted coefficients for a (kernel kind, partial plan) pair, or
+#: ``None`` to price with the paper constants.  Engines bind this to their
+#: :class:`~repro.core.calibration.CalibrationStore` in ``"active"`` mode.
+CalibrationProvider = Callable[
+    [str, PartialFusionPlan], Optional[KernelCalibration]
+]
 
 
 def is_termination(dag: DAG, node: Node) -> bool:
@@ -140,23 +148,31 @@ def exploitation_phase(
     candidates: list[PartialFusionPlan],
     config: EngineConfig,
     report: Optional[ExploitationReport] = None,
+    calibration: Optional[CalibrationProvider] = None,
 ) -> list[PartialFusionPlan]:
     """Refine candidates: split where two smaller plans cost less than one."""
     final: list[PartialFusionPlan] = []
     queue = deque(candidates)
     while queue:
         plan = queue.popleft()
-        plan = _exploit_one(plan, queue, config, report)
+        plan = _exploit_one(plan, queue, config, report, calibration)
         final.append(plan)
     return final
 
 
-def _fused_cost(plan: PartialFusionPlan, config: EngineConfig) -> float:
+def _fused_cost(
+    plan: PartialFusionPlan,
+    config: EngineConfig,
+    calibration: Optional[CalibrationProvider] = None,
+) -> float:
     """Optimal cost of a plan; infinite when it cannot lay out as one CFO."""
     if not plan.contains_matmul:
-        return _cell_cost(plan, config)
+        return _cell_cost(plan, config, calibration)
+    fit = calibration("cfo", plan) if calibration is not None else None
     try:
-        return optimize_parameters(plan, config).cost.cost_seconds
+        return optimize_parameters(
+            plan, config, calibration=fit
+        ).cost.cost_seconds
     except PlanError:
         return float("inf")
 
@@ -166,11 +182,12 @@ def _exploit_one(
     queue: deque,
     config: EngineConfig,
     report: Optional[ExploitationReport],
+    calibration: Optional[CalibrationProvider] = None,
 ) -> PartialFusionPlan:
     if len(plan.matmuls()) <= 1:
         return plan
     main = plan.main_matmul()
-    cost = _fused_cost(plan, config)
+    cost = _fused_cost(plan, config, calibration)
     split_points = [m for m in plan.matmuls() if m is not main]
     split_points.sort(key=lambda m: -_distance(plan, m, main))
     for point in split_points:
@@ -179,8 +196,8 @@ def _exploit_one(
         if report is not None:
             report.examined += 1
         remainder, split_off = plan.split(point)
-        cost_m = _fused_cost(remainder, config)
-        cost_i = _fused_cost(split_off, config)
+        cost_m = _fused_cost(remainder, config, calibration)
+        cost_i = _fused_cost(split_off, config, calibration)
         if cost > cost_m + cost_i:
             queue.append(split_off)
             plan = remainder
@@ -213,7 +230,11 @@ def _distance(plan: PartialFusionPlan, a: Node, b: Node) -> int:
     raise PlanError(f"{a!r} and {b!r} are not connected within the plan")
 
 
-def _cell_cost(plan: PartialFusionPlan, config: EngineConfig) -> float:
+def _cell_cost(
+    plan: PartialFusionPlan,
+    config: EngineConfig,
+    calibration: Optional[CalibrationProvider] = None,
+) -> float:
     """Cost of a matmul-free plan: one pass over its frontier inputs."""
     cluster = config.cluster
     total_bytes = sum(
@@ -223,6 +244,10 @@ def _cell_cost(plan: PartialFusionPlan, config: EngineConfig) -> float:
         if child not in plan.nodes
     )
     total_flops = sum(n.estimated_flops() for n in plan.topo_nodes())
+    if calibration is not None:
+        fit = calibration("cell", plan)
+        if fit is not None:
+            return fit.predict_seconds(total_bytes, total_flops)
     net_time = total_bytes / (cluster.num_nodes * cluster.network_bandwidth)
     com_time = total_flops / (cluster.num_nodes * cluster.compute_bandwidth)
     if config.overlap_comm_compute:
@@ -239,11 +264,17 @@ def generate_fusion_plan(
     dag: DAG,
     config: EngineConfig,
     report: Optional[ExploitationReport] = None,
+    calibration: Optional[CalibrationProvider] = None,
 ) -> FusionPlan:
-    """Run CFG end-to-end and cover every operator of *dag* with units."""
+    """Run CFG end-to-end and cover every operator of *dag* with units.
+
+    With a *calibration* provider, Algorithm 3's keep-or-split comparisons
+    price plans with fitted per-kernel throughputs — split decisions then
+    reflect the machine the plan will run on, not the paper's testbed.
+    """
     candidates = exploration_phase(dag)
     if config.exploitation_phase:
-        partials = exploitation_phase(candidates, config, report)
+        partials = exploitation_phase(candidates, config, report, calibration)
     else:
         partials = candidates
     partials = _ensure_layouts(partials)

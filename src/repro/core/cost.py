@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import EngineConfig
+from repro.core.calibration import KernelCalibration
 from repro.core.plan import PartialFusionPlan
 from repro.core.spaces import SpaceKind, SpaceTree
 
@@ -60,10 +61,22 @@ class CostModel:
     pins them so a recycled ``id()`` can never alias an entry.  Reported
     ``evaluations`` counts are tallied by the optimizer itself, so
     memoization changes no observable numbers — only wall-clock.
+
+    With a *calibration* (a fitted :class:`~repro.core.calibration.
+    KernelCalibration` for this plan's kernel class), ``cost_seconds``
+    prices the same Net/Com estimates with the machine's measured effective
+    throughputs instead of the paper constants — Mem/Net/Com themselves are
+    untouched, so memory feasibility and the pruned search's monotone
+    bounds are identical either way.
     """
 
-    def __init__(self, config: EngineConfig):
+    def __init__(
+        self,
+        config: EngineConfig,
+        calibration: Optional[KernelCalibration] = None,
+    ):
         self.config = config
+        self.calibration = calibration
         self._memo: dict = {}
         self._pins: dict = {}
         #: Memo telemetry (surfaced through ``OptimizerResult``); purely
@@ -116,12 +129,7 @@ class CostModel:
         )
         com = self.com_est(tree, pqr)
         cluster = self.config.cluster
-        net_time = net / (cluster.num_nodes * cluster.network_bandwidth)
-        com_time = com / (cluster.num_nodes * cluster.compute_bandwidth)
-        if self.config.overlap_comm_compute:
-            seconds = max(net_time, com_time)
-        else:
-            seconds = net_time + com_time
+        seconds = self._price(net, com)
         feasible = mem <= cluster.task_memory_budget
         return PlanCost(
             pqr=pqr,
@@ -131,6 +139,27 @@ class CostModel:
             cost_seconds=seconds if feasible else INFEASIBLE,
             feasible=feasible,
         )
+
+    def _price(self, net: float, com: float) -> float:
+        """Seconds for cluster-wide *net* bytes and *com* flops — Eq. 2 with
+        the paper constants, or the fitted throughputs when calibrated."""
+        if self.calibration is not None:
+            return self.calibration.predict_seconds(net, com)
+        cluster = self.config.cluster
+        net_time = net / (cluster.num_nodes * cluster.network_bandwidth)
+        com_time = com / (cluster.num_nodes * cluster.compute_bandwidth)
+        if self.config.overlap_comm_compute:
+            return max(net_time, com_time)
+        return net_time + com_time
+
+    def raw_seconds(self, tree: SpaceTree, pqr: tuple[int, int, int]) -> float:
+        """Cost ignoring memory feasibility (the pruned search's bounds).
+
+        Consolidation traffic only (Eq. 4 exactly) — a *lower* bound on the
+        full evaluation under either pricing, since both are non-decreasing
+        in net and com.
+        """
+        return self._price(self.net_est(tree, pqr), self.com_est(tree, pqr))
 
     # -- MemEst (Algorithm 1) --------------------------------------------------
 

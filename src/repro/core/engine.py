@@ -22,7 +22,6 @@ from repro.core.physical import (
     UnitAnnotation,
     UnitOp,
     estimate_from_cost,
-    generic_unit_estimate,
 )
 from repro.core.plan import FusionPlan, MultiAggPlan, PlanUnit
 from repro.execution import Engine
@@ -85,7 +84,16 @@ class FuseMEEngine(Engine):
 
     def plan_query(self, dag: DAG) -> FusionPlan:
         self.last_report = ExploitationReport()
-        return generate_fusion_plan(dag, self.config, report=self.last_report)
+        return generate_fusion_plan(
+            dag,
+            self.config,
+            report=self.last_report,
+            # active calibration prices Algorithm 3's keep-or-split
+            # comparisons with fitted throughputs; None keeps Eq. 2 exact
+            calibration=(
+                self.calibration_for if self.calibration_active else None
+            ),
+        )
 
     def annotate_unit(
         self, unit: PlanUnit, hint: Optional[OptimizerResult] = None
@@ -93,21 +101,33 @@ class FuseMEEngine(Engine):
         plan = unit.plan
         if isinstance(plan, MultiAggPlan):
             return UnitAnnotation(
-                kind="multi-agg", estimate=generic_unit_estimate(unit)
+                kind="multi-agg",
+                estimate=self.calibrated_estimate("multi-agg", unit),
             )
         if plan.contains_matmul:
             # the (P*, Q*, R*) search — once here at lowering, never on the
             # execution path; a plan-cache hint skips it entirely
             result = hint or optimize_parameters(
-                plan, self.config, method=self.optimizer_method
+                plan,
+                self.config,
+                method=self.optimizer_method,
+                calibration=self.calibration_for("cfo", plan),
             )
             return UnitAnnotation(
                 kind="cfo",
                 pqr=result.pqr,
                 optimizer_result=result,
-                estimate=estimate_from_cost(result.cost),
+                estimate=estimate_from_cost(
+                    result.cost,
+                    paper_seconds=(
+                        result.paper_cost.cost_seconds
+                        if result.paper_cost is not None else None
+                    ),
+                ),
             )
-        return UnitAnnotation(kind="cell", estimate=generic_unit_estimate(unit))
+        return UnitAnnotation(
+            kind="cell", estimate=self.calibrated_estimate("cell", unit)
+        )
 
     def run_unit(
         self,

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Literal, Optional
 
 from repro.config import EngineConfig
+from repro.core.calibration import KernelCalibration
 from repro.core.cost import CostModel, PlanCost
 from repro.core.plan import PartialFusionPlan
 from repro.core.spaces import SpaceTree, plan_layout
@@ -43,6 +44,11 @@ class OptimizerResult:
     #: only; evaluation counts are tallied by the search itself).
     memo_hits: int = 0
     memo_misses: int = 0
+    #: When the search priced with fitted throughputs: the *same* chosen
+    #: ``pqr`` evaluated with the paper constants, so EXPLAIN can render
+    #: calibrated vs paper cost side by side.  ``None`` for uncalibrated
+    #: searches (the seed path allocates nothing extra).
+    paper_cost: Optional[PlanCost] = None
 
     @property
     def feasible(self) -> bool:
@@ -59,6 +65,7 @@ def optimize_parameters(
     config: EngineConfig,
     tree: Optional[SpaceTree] = None,
     method: SearchMethod = "pruned",
+    calibration: Optional[KernelCalibration] = None,
 ) -> OptimizerResult:
     """Find ``(P*, Q*, R*)`` for *plan*.
 
@@ -66,11 +73,15 @@ def optimize_parameters(
     budget even fully partitioned), the result carries the maximal
     partitioning ``(I, J, K)`` with an infinite cost — Algorithm 3 treats
     this as "must split".
+
+    With *calibration* (fitted coefficients for this plan's kernel class)
+    every candidate is priced with the machine's measured effective
+    throughputs; the search structure and feasibility are unchanged.
     """
     if tree is None:
         tree = plan_layout(plan).tree
     extent_i, extent_j, extent_k = tree.mm.mm_dims()
-    model = CostModel(config)
+    model = CostModel(config, calibration=calibration)
     started = time.perf_counter()
 
     if method == "exhaustive":
@@ -88,6 +99,9 @@ def optimize_parameters(
     if best is None:
         # infeasible even at full partitioning: report (I, J, K) with inf cost
         best = model.evaluate(plan, tree, (extent_i, extent_j, extent_k))
+    paper_cost = None
+    if calibration is not None:
+        paper_cost = CostModel(config).evaluate(plan, tree, best.pqr)
     return OptimizerResult(
         pqr=best.pqr,
         cost=best,
@@ -97,6 +111,7 @@ def optimize_parameters(
         candidates=extent_i * extent_j * extent_k,
         memo_hits=model.memo_hits,
         memo_misses=model.memo_misses,
+        paper_cost=paper_cost,
     )
 
 
@@ -173,13 +188,10 @@ def _pruned(
 
 
 def _raw_cost(model: CostModel, tree: SpaceTree, pqr: tuple[int, int, int]) -> float:
-    """Eq. 2 cost ignoring memory feasibility (used for pruning bounds)."""
-    cluster = model.config.cluster
-    net_time = model.net_est(tree, pqr) / (cluster.num_nodes * cluster.network_bandwidth)
-    com_time = model.com_est(tree, pqr) / (cluster.num_nodes * cluster.compute_bandwidth)
-    if model.config.overlap_comm_compute:
-        return max(net_time, com_time)
-    return net_time + com_time
+    """Cost ignoring memory feasibility (used for pruning bounds) — Eq. 2
+    with the paper constants, or the fitted throughputs when the model
+    carries a calibration."""
+    return model.raw_seconds(tree, pqr)
 
 
 def _smallest_feasible_p(

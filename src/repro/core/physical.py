@@ -68,6 +68,10 @@ class UnitEstimate:
     flops: float
     seconds: Optional[float] = None
     mem_bytes_per_task: Optional[float] = None
+    #: When ``seconds`` was priced with fitted throughputs
+    #: (``calibration="active"``): the same estimate under the paper
+    #: constants, so EXPLAIN shows both.  ``None`` on the uncalibrated path.
+    paper_seconds: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -115,14 +119,16 @@ class UnitOp:
         return self.unit is not None and self.unit.is_fused
 
 
-def estimate_from_cost(cost) -> UnitEstimate:
+def estimate_from_cost(cost, paper_seconds: Optional[float] = None) -> UnitEstimate:
     """A :class:`UnitEstimate` from a cuboid search's
-    :class:`~repro.core.cost.PlanCost` (Eq. 2-5 outputs)."""
+    :class:`~repro.core.cost.PlanCost` (Eq. 2-5 outputs).  *paper_seconds*
+    carries the paper-constant price when *cost* was calibrated."""
     return UnitEstimate(
         net_bytes=float(cost.net_bytes),
         flops=float(cost.com_flops),
         seconds=float(cost.cost_seconds),
         mem_bytes_per_task=float(cost.mem_bytes_per_task),
+        paper_seconds=paper_seconds,
     )
 
 
@@ -219,6 +225,8 @@ class PhysicalPlan:
             detail = f"est: net={format_bytes(int(est.net_bytes))} flops={est.flops:.3g}"
             if est.seconds is not None:
                 detail += f" sec={est.seconds:.4g}"
+            if est.paper_seconds is not None:
+                detail += f" (paper {est.paper_seconds:.4g})"
             if est.mem_bytes_per_task is not None:
                 detail += f" mem/task={format_bytes(int(est.mem_bytes_per_task))}"
             parts.append(detail)

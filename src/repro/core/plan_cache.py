@@ -92,6 +92,12 @@ class PlanCacheEntry:
     fusion_plan: "FusionPlan"  # noqa: F821 - avoids an import cycle
     unit_hints: Dict[int, object] = field(default_factory=dict)
     physical: "Optional[PhysicalPlan]" = None  # noqa: F821 - import cycle
+    #: Calibration-store generation this entry was planned at (``None`` when
+    #: planned without calibration).  Adaptive re-planning evicts an entry
+    #: only when its observed error crosses the threshold *and* the store
+    #: has advanced past this generation — re-planning with the same
+    #: coefficients would reproduce the same plan.
+    fit_generation: Optional[int] = None
 
 
 class PlanCache:
@@ -107,6 +113,7 @@ class PlanCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
         self._entries: "OrderedDict[Hashable, PlanCacheEntry]" = OrderedDict()
 
     @property
@@ -124,6 +131,20 @@ class PlanCache:
         self.hits += 1
         return entry
 
+    def peek(self, key: Hashable) -> Optional[PlanCacheEntry]:
+        """Look up *key* without touching LRU order or hit/miss counters
+        (calibration feedback inspects the entry it just executed)."""
+        if not self.enabled:
+            return None
+        return self._entries.get(key)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Evict *key* (error-triggered re-planning); True when present."""
+        if self._entries.pop(key, None) is None:
+            return False
+        self.invalidations += 1
+        return True
+
     def put(self, key: Hashable, entry: PlanCacheEntry) -> None:
         if not self.enabled:
             return
@@ -136,6 +157,7 @@ class PlanCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     @property
     def num_entries(self) -> int:
@@ -150,6 +172,7 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / total if total else 0.0,
+            "invalidations": self.invalidations,
         }
 
     def __repr__(self) -> str:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.cluster.executor import SimulatedCluster
@@ -34,9 +34,15 @@ from repro.obs import (
     TelemetryEvent,
     UnitProfile,
 )
+from repro.core.calibration import (
+    CalibrationStore,
+    KernelCalibration,
+    sparsity_bucket,
+)
 from repro.core.physical import (
     PhysicalPlan,
     UnitAnnotation,
+    UnitEstimate,
     UnitOp,
     generic_unit_estimate,
     lower_plan,
@@ -137,6 +143,18 @@ class Engine(ABC):
         #: The most recent query's :class:`QueryProfile` (None before the
         #: first execute or with ``config.telemetry=False``).
         self.last_profile: Optional[QueryProfile] = None
+        #: Per-kernel throughput observations + fits
+        #: (:mod:`repro.core.calibration`).  Always constructed — it is
+        #: inert (never read, never written) while
+        #: ``config.calibration == "off"``; ``"observe"`` feeds it after
+        #: each execute; ``"active"`` additionally prices planning with its
+        #: fits and re-plans cached entries whose error crossed the
+        #: threshold.  The serving layer shares one engine, hence one store,
+        #: across tenants.
+        self.calibration = CalibrationStore(
+            window=self.config.calibration_window,
+            min_samples=self.config.calibration_min_samples,
+        )
         #: Engine-owned worker-process pool
         #: (``config.execution_backend="process"``).  Lazy: nothing spawns
         #: until the first eligible wave dispatch; persistent: workers
@@ -220,7 +238,48 @@ class Engine(ABC):
             kind = "matmul"
         else:
             kind = "cell"
-        return UnitAnnotation(kind=kind, estimate=generic_unit_estimate(unit))
+        return UnitAnnotation(kind=kind, estimate=self.calibrated_estimate(kind, unit))
+
+    # -- calibration -----------------------------------------------------------
+
+    @property
+    def calibration_active(self) -> bool:
+        """Whether planning prices with fitted throughputs."""
+        return self.config.calibration == "active"
+
+    def plan_sparsity_bucket(self, plan) -> str:
+        """The calibration bucket of a partial plan: its sparsest frontier
+        input decides (sparse kernels have very different effective
+        throughput than dense ones — the whole point of bucketing)."""
+        densities = [
+            node.meta.density
+            for node in plan.frontier()
+            if node.meta.density is not None
+        ]
+        return sparsity_bucket(min(densities) if densities else None)
+
+    def calibration_for(self, kind: str, plan) -> Optional[KernelCalibration]:
+        """Fitted coefficients to price *plan* as a *kind* unit with, or
+        ``None`` (paper constants) when calibration is not active or the
+        kernel class has no trustworthy fit yet."""
+        if not self.calibration_active:
+            return None
+        return self.calibration.coefficients(
+            kind, self.plan_sparsity_bucket(plan)
+        )
+
+    def calibrated_estimate(self, kind: str, unit: PlanUnit) -> UnitEstimate:
+        """A generic unit estimate, with calibrated modeled seconds attached
+        when the engine is active and the kernel class has a fit.  The
+        inactive path returns exactly :func:`generic_unit_estimate`."""
+        estimate = generic_unit_estimate(unit)
+        fit = self.calibration_for(kind, unit.plan)
+        if fit is None:
+            return estimate
+        return replace(
+            estimate,
+            seconds=fit.predict_seconds(estimate.net_bytes, estimate.flops),
+        )
 
     def planning_signature(self) -> tuple:
         """Everything besides DAG structure that can steer planning.
@@ -246,6 +305,7 @@ class Engine(ABC):
             config.exploitation_phase,
             config.overlap_comm_compute,
             config.sparse_threshold,
+            config.calibration,
         )
 
     def planning_attrs(self) -> Dict[str, Any]:
@@ -259,20 +319,24 @@ class Engine(ABC):
 
     # -- planning / lowering ----------------------------------------------------
 
-    def _plan_physical(self, dag: DAG) -> tuple[DAG, PhysicalPlan, bool]:
+    def _plan_physical(
+        self, dag: DAG
+    ) -> tuple[DAG, PhysicalPlan, bool, Optional[tuple]]:
         """Plan + lower *dag*, via the plan cache.
 
-        Returns ``(dag, physical, cache_hit)`` — on a hit the returned DAG
-        is the cached one (plan units hold identity-hashed nodes of the DAG
-        they were planned against; inputs still bind by name, which the
-        fingerprint guarantees to match).
+        Returns ``(dag, physical, cache_hit, cache_key)`` — on a hit the
+        returned DAG is the cached one (plan units hold identity-hashed
+        nodes of the DAG they were planned against; inputs still bind by
+        name, which the fingerprint guarantees to match).  The key lets the
+        calibration feedback loop find (and possibly evict) the entry this
+        query executed.
         """
         cache_key = None
         if self.plan_cache.enabled:
             cache_key = (self.planning_signature(), dag_fingerprint(dag))
             entry = self.plan_cache.get(cache_key)
             if entry is not None and entry.physical is not None:
-                return entry.dag, entry.physical, True
+                return entry.dag, entry.physical, True, cache_key
         fusion_plan = self.plan_query(dag)
         physical = lower_plan(
             dag,
@@ -288,9 +352,18 @@ class Engine(ABC):
             }
             self.plan_cache.put(
                 cache_key,
-                PlanCacheEntry(dag, fusion_plan, hints, physical=physical),
+                PlanCacheEntry(
+                    dag,
+                    fusion_plan,
+                    hints,
+                    physical=physical,
+                    fit_generation=(
+                        self.calibration.generation
+                        if self.calibration_active else None
+                    ),
+                ),
             )
-        return dag, physical, False
+        return dag, physical, False, cache_key
 
     def explain(
         self,
@@ -314,7 +387,7 @@ class Engine(ABC):
         """Plan + lower *query* to its :class:`PhysicalPlan` (no execution)."""
         dag = self.prepare_dag(as_dag(query), inputs)
         with self._execute_lock:
-            _, physical, _ = self._plan_physical(dag)
+            _, physical, _, _ = self._plan_physical(dag)
         return physical
 
     # -- driver ---------------------------------------------------------------------
@@ -394,7 +467,7 @@ class Engine(ABC):
                 tracer.span("plan", "planning")
                 if tracer else nullcontext()
             ) as plan_span:
-                dag, physical, cache_hit = self._plan_physical(dag)
+                dag, physical, cache_hit, cache_key = self._plan_physical(dag)
             if self.plan_cache.enabled:
                 cluster.metrics.bump(
                     "plan_cache_hits" if cache_hit else "plan_cache_misses"
@@ -458,6 +531,13 @@ class Engine(ABC):
             exec_span.attrs["procpool"] = self._procpool.stats.as_dict()
 
         outputs = {root: self._root_value(root, env, inputs) for root in dag.roots}
+        if self.config.calibration != "off":
+            # feed the store (and maybe evict the plan) before the final
+            # diff, so the calibration counters land in this query's delta
+            self._calibration_feedback(
+                cache_key, physical, cluster.metrics.diff_since(baseline),
+                cluster.metrics,
+            )
         metrics = cluster.metrics.diff_since(baseline)
 
         span = None
@@ -492,6 +572,79 @@ class Engine(ABC):
             self._emit_telemetry(profile)
         return result
 
+    def _calibration_feedback(
+        self,
+        cache_key: Optional[tuple],
+        physical: PhysicalPlan,
+        delta: MetricsCollector,
+        live_metrics: MetricsCollector,
+    ) -> None:
+        """Close the loop after one execute (``observe`` and ``active``).
+
+        Every unit's measured per-unit totals become one
+        :class:`~repro.core.calibration.Observation` under its operator
+        kind + sparsity bucket.  In ``active`` mode, a cached plan whose
+        mean abs seconds error crossed the replan threshold — while the
+        store learned something since the plan was made — is evicted, so
+        the next structurally identical query re-plans with the latest
+        coefficients (adaptive re-planning).  Counters are observability
+        only and never feed a modeled number.
+        """
+        per_unit = delta.per_unit_totals()
+        observed = 0
+        errors = []
+        for op in physical.ops:
+            totals = per_unit.get(op.index)
+            if totals is None:
+                continue
+            bucket = (
+                self.plan_sparsity_bucket(op.unit.plan)
+                if op.unit is not None else "dense"
+            )
+            predicted = (
+                op.estimate.seconds if op.estimate is not None else None
+            )
+            measured = float(totals.get("elapsed_seconds", 0.0))
+            # regressors are the planner's own estimates (the space
+            # predict_seconds is later applied in); measured counters ride
+            # along for accountability only
+            if op.estimate is not None:
+                net_est = float(op.estimate.net_bytes)
+                com_est = float(op.estimate.flops)
+            else:
+                net_est = float(totals.get("comm_bytes", 0))
+                com_est = float(totals.get("flops", 0))
+            if self.calibration.observe(
+                op.kind,
+                bucket,
+                net_bytes=net_est,
+                flops=com_est,
+                measured_seconds=measured,
+                predicted_seconds=predicted,
+                measured_net_bytes=float(totals.get("comm_bytes", 0)),
+                measured_flops=float(totals.get("flops", 0)),
+                wall_seconds=float(totals.get("wall_seconds", 0.0)),
+                num_stages=int(totals.get("num_stages", 0)),
+                num_tasks=int(totals.get("num_tasks", 0)),
+            ):
+                observed += 1
+                if predicted is not None and measured > 0:
+                    errors.append(abs(predicted - measured) / measured)
+        generation = self.calibration.commit()
+        if observed:
+            live_metrics.bump("calibration_observations", observed)
+
+        if not (self.calibration_active and cache_key is not None and errors):
+            return
+        entry = self.plan_cache.peek(cache_key)
+        if entry is None:
+            return
+        mean_error = sum(errors) / len(errors)
+        stale = entry.fit_generation is None or entry.fit_generation < generation
+        if mean_error > self.config.calibration_replan_threshold and stale:
+            if self.plan_cache.invalidate(cache_key):
+                live_metrics.bump("plan_cache_calibration_evictions")
+
     def _build_profile(
         self,
         physical: PhysicalPlan,
@@ -525,6 +678,10 @@ class Engine(ABC):
                 measured_flops=float(totals.get("flops", 0)),
                 num_stages=int(totals.get("num_stages", 0)),
                 num_tasks=int(totals.get("num_tasks", 0)),
+                measured_wall_seconds=(
+                    float(totals["wall_seconds"])
+                    if "wall_seconds" in totals else None
+                ),
             ))
         counters = dict(metrics.counters)
         counters.update(optimizer_counters)

@@ -30,16 +30,23 @@ def relative_error(
 ) -> Optional[float]:
     """Signed relative error ``(predicted - measured) / measured``.
 
-    Positive means the model over-predicted.  ``None`` when either side is
-    unknown; ``0.0`` when both are zero; ``+/-inf`` when the model predicted
-    work for a unit that measured none.
+    Positive means the model over-predicted.  ``None`` whenever no honest
+    ratio exists: either side unknown or non-finite, a zero prediction
+    against a nonzero measurement (an estimator that produced 0 made no
+    claim, and calling it "-100% off" would poison every error aggregate
+    calibration trusts), or a nonzero prediction against a zero measurement
+    (the ratio is undefined; the old ``+/-inf`` answer leaked into means and
+    JSON).  ``0.0`` when both sides are zero — the model claimed no work and
+    none happened.
     """
     if predicted is None or measured is None:
         return None
+    if not (math.isfinite(predicted) and math.isfinite(measured)):
+        return None
     if measured == 0:
-        if predicted == 0:
-            return 0.0
-        return math.inf if predicted > 0 else -math.inf
+        return 0.0 if predicted == 0 else None
+    if predicted == 0:
+        return None
     return (predicted - measured) / measured
 
 
@@ -62,6 +69,10 @@ class UnitProfile:
     measured_flops: float = 0.0
     num_stages: int = 0
     num_tasks: int = 0
+    #: Real wall-clock seconds the unit's stages took where they ran (driver
+    #: thread, thread pool or process-pool worker).  Observability only —
+    #: never enters an error ratio, since it depends on host load.
+    measured_wall_seconds: Optional[float] = None
 
     @property
     def seconds_error(self) -> Optional[float]:
@@ -90,6 +101,7 @@ class UnitProfile:
             "measured_flops": self.measured_flops,
             "num_stages": self.num_stages,
             "num_tasks": self.num_tasks,
+            "measured_wall_seconds": self.measured_wall_seconds,
             "seconds_error": self.seconds_error,
             "net_bytes_error": self.net_bytes_error,
             "flops_error": self.flops_error,

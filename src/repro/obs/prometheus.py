@@ -287,6 +287,51 @@ def serving_families(
     return families
 
 
+def calibration_families(
+    stats: Mapping[str, Any], prefix: str = "repro_calibration"
+) -> List[MetricFamily]:
+    """Families for a ``CalibrationStore.stats()`` dict: fit generation,
+    observation volume, planner error and per-kernel fitted coefficients."""
+    families = [
+        MetricFamily(
+            f"{prefix}_generation", "counter",
+            "Calibration fit generation (bumped per committed batch)",
+        ).add(stats.get("generation", 0)),
+        MetricFamily(
+            f"{prefix}_observations_total", "counter",
+            "Unit profiles fed into the calibration store",
+        ).add(stats.get("observations", 0)),
+    ]
+    error = stats.get("mean_abs_seconds_error")
+    if error is not None:
+        families.append(
+            MetricFamily(
+                f"{prefix}_mean_abs_seconds_error", "gauge",
+                "Mean absolute relative error of planner-predicted seconds",
+            ).add(error)
+        )
+    kernels = stats.get("kernels") or {}
+    if kernels:
+        samples = MetricFamily(
+            f"{prefix}_kernel_samples", "gauge",
+            "Observations in the fit window, per kernel and sparsity bucket",
+        )
+        residual = MetricFamily(
+            f"{prefix}_kernel_residual_error", "gauge",
+            "Mean absolute relative fit residual, per kernel and sparsity bucket",
+        )
+        for name in sorted(kernels):
+            kernel = kernels[name]
+            kind, _, bucket = name.partition("/")
+            samples.add(kernel.get("samples", 0), kind=kind, bucket=bucket)
+            if "residual_error" in kernel:
+                residual.add(kernel["residual_error"], kind=kind, bucket=bucket)
+        families.append(samples)
+        if residual.samples:
+            families.append(residual)
+    return families
+
+
 class PrometheusSink(Sink):
     """Aggregates counter/gauge telemetry events into a scrapeable page.
 

@@ -57,6 +57,7 @@ from repro.matrix.distributed import BlockedMatrix
 from repro.obs import QueryProfile
 from repro.obs.prometheus import (
     cache_families,
+    calibration_families,
     engine_families,
     render_exposition,
     serving_families,
@@ -430,6 +431,8 @@ class MatrixService:
             result_cache=self.result_cache.stats(),
             plan_cache=self.engine.plan_cache.stats(),
             slice_cache=self.engine.slice_cache.stats(),
+            # one store per engine, shared by every tenant of this service
+            calibration=self.engine.calibration.stats(),
             cluster=self.cluster.metrics.snapshot(),
         )
         return snap
@@ -445,6 +448,7 @@ class MatrixService:
             "slice": status["slice_cache"],
             "result": status["result_cache"],
         })
+        families += calibration_families(status["calibration"])
         families += serving_families(status)
         return render_exposition(families)
 

@@ -17,9 +17,19 @@ class TestRelativeError:
     def test_both_zero(self):
         assert relative_error(0.0, 0.0) == 0.0
 
-    def test_predicted_work_measured_none(self):
-        assert relative_error(1.0, 0.0) == math.inf
-        assert relative_error(-1.0, 0.0) == -math.inf
+    def test_predicted_work_measured_none_is_undefined(self):
+        # a nonzero claim against a zero measurement has no honest ratio —
+        # the old +/-inf answer leaked into means and JSON
+        assert relative_error(1.0, 0.0) is None
+        assert relative_error(-1.0, 0.0) is None
+
+    def test_zero_prediction_makes_no_claim(self):
+        assert relative_error(0.0, 2.0) is None
+
+    def test_non_finite_inputs_are_undefined(self):
+        assert relative_error(math.inf, 1.0) is None
+        assert relative_error(math.nan, 1.0) is None
+        assert relative_error(1.0, math.inf) is None
 
 
 def _unit(index=0, predicted=1.0, measured=1.0, **kwargs):
@@ -106,11 +116,16 @@ class TestQueryProfile:
         )
         assert "wall-clock: 0.500000s" in profile.render(include_wall=True)
 
-    def test_infinite_error_renders(self):
+    def test_undefined_error_renders_as_dash(self):
         profile = QueryProfile(
             engine="e",
             units=(_unit(0, predicted=1.0, measured=0.0),),
             totals={"elapsed_seconds": 0.0},
         )
-        assert "+inf" in profile.render()
-        assert profile.mean_abs_seconds_error is None  # inf excluded
+        assert profile.units[0].seconds_error is None
+        assert "inf" not in profile.render()
+        assert profile.mean_abs_seconds_error is None  # undefined excluded
+
+    def test_wall_seconds_carried_to_dict(self):
+        doc = _unit(measured_wall_seconds=0.25).to_dict()
+        assert doc["measured_wall_seconds"] == 0.25
