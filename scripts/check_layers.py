@@ -27,7 +27,12 @@ rules the paper's architecture depends on get called out explicitly:
   driver-side bridge lives in ``core/procexec.py``, above the substrate;
 * ``core/calibration.py`` consumes plain floats only: it may import nothing
   above the config layer (in particular never ``serving``), even though the
-  ``core`` layer as a whole is allowed more.
+  ``core`` layer as a whole is allowed more;
+* the replica pool and async front end (``serving/pool.py``,
+  ``serving/routing.py``, ``serving/ticket.py``,
+  ``serving/async_service.py``) are front-end plumbing: engines reach them
+  as constructed objects, so they never import the planning/execution
+  stacks, even though the ``serving`` layer as a whole may.
 
 Imports inside ``if TYPE_CHECKING:`` blocks are ignored (annotations only).
 Exit status 0 when clean, 1 with one line per violation otherwise.
@@ -89,6 +94,21 @@ PROCPOOL_FORBIDDEN = {"core", "serving", "obs"}
 #: execution, or serving stacks — regardless of what the wider ``core``
 #: layer is allowed.
 CALIBRATION_ALLOWED = {"utils", "errors", "config"}
+
+#: The replica pool and async front end are pure front-end plumbing: they
+#: route, queue, and bridge — engines reach them as already-constructed
+#: objects (``engine.clone()``), never as imports.  Regardless of what the
+#: wider ``serving`` layer is allowed, these files must not import the
+#: planning/execution stacks (``core``, ``operators``, ``execution``,
+#: ``baselines``) or anything above serving.
+SERVING_POOL_FILES = (
+    "serving/pool.py",
+    "serving/routing.py",
+    "serving/ticket.py",
+    "serving/async_service.py",
+)
+SERVING_POOL_ALLOWED = {"serving", "cluster", "obs", "utils", "errors",
+                        "config"}
 
 
 def layer_of(path: Path) -> str | None:
@@ -176,6 +196,14 @@ def main() -> int:
                     violations.append(
                         f"{rel}:{lineno}: core/calibration consumes plain "
                         f"floats and must not import repro.{target}"
+                    )
+        if rel in SERVING_POOL_FILES:
+            for lineno, target in repro_imports(tree):
+                if target and target not in SERVING_POOL_ALLOWED:
+                    violations.append(
+                        f"{rel}:{lineno}: the replica pool / async front end "
+                        f"is front-end plumbing and must not import "
+                        f"repro.{target}"
                     )
         if rel.startswith("cluster/procpool/"):
             for lineno, target in repro_imports(tree):

@@ -16,8 +16,11 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from repro.cluster.metrics import MetricsCollector, StageRecord
+from repro.cluster.slice_cache import SliceCache
 from repro.config import EngineConfig
+from repro.core.calibration import CalibrationStore
 from repro.core.physical import PhysicalPlan, UnitEstimate, UnitOp
+from repro.core.plan_cache import PlanCache
 from repro.errors import TaskOutOfMemoryError
 from repro.execution import (
     ExecutionResult,
@@ -43,6 +46,39 @@ class LocalXLAEngine:
         #: to receive query profiles and counters.
         self.telemetry = EventBus()
         self.last_profile: Optional[QueryProfile] = None
+        # the serving layer's duck-type surface (status pages, result-cache
+        # keys, replica cloning).  XLA "recompiles" per query, so the plan
+        # cache stays empty and the slice cache disabled; the calibration
+        # store exists but this engine never feeds it.
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self.slice_cache = SliceCache(enabled=False)
+        self.calibration = CalibrationStore(
+            window=self.config.calibration_window,
+            min_samples=self.config.calibration_min_samples,
+        )
+
+    def planning_signature(self) -> tuple:
+        """Everything that can steer this engine's (trivial) planning —
+        the result-cache key component, mirroring
+        :meth:`repro.execution.Engine.planning_signature`."""
+        cluster = self.config.cluster
+        return (
+            type(self).__name__,
+            self.name,
+            cluster.tasks_per_node,
+            cluster.task_memory_budget,
+            cluster.compute_bandwidth,
+            cluster.task_launch_overhead,
+            self.config.block_size,
+        )
+
+    def clone(self, config: Optional[EngineConfig] = None) -> "LocalXLAEngine":
+        """A fresh single-node engine (replica pools multiply engines
+        this way)."""
+        return type(self)(config if config is not None else self.config)
+
+    def close(self) -> None:
+        """No runtime resources to release (single-node, no worker pool)."""
 
     @property
     def node_memory(self) -> int:

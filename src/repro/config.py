@@ -252,6 +252,19 @@ class ServiceConfig:
     log_every: int = 0
     #: Dispatcher poll interval (seconds) while waiting for work/timeouts.
     dispatch_poll_seconds: float = 0.02
+    #: Engine replicas behind the service.  Each replica owns its own
+    #: cluster, plan/slice caches and dispatcher thread; tenants shard
+    #: across replicas by consistent hash.  Per-replica admission budgets
+    #: *split* the service memory budget (they sum to it, never multiply).
+    num_replicas: int = 1
+    #: Virtual nodes per replica on the consistent-hash ring; more vnodes
+    #: spread tenants more evenly at slightly larger rings.
+    ring_vnodes: int = 64
+    #: In-flight query cap of the asyncio front end
+    #: (:class:`repro.serving.async_service.AsyncMatrixService`); submits
+    #: beyond it are shed *before* touching the admission queues.  ``None``
+    #: defaults to ``2 * max_queue_depth``.
+    async_max_inflight: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrency <= 0:
@@ -272,6 +285,12 @@ class ServiceConfig:
             raise ValueError("log_every cannot be negative")
         if self.dispatch_poll_seconds <= 0:
             raise ValueError("dispatch_poll_seconds must be positive")
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if self.ring_vnodes <= 0:
+            raise ValueError("ring_vnodes must be positive")
+        if self.async_max_inflight is not None and self.async_max_inflight <= 0:
+            raise ValueError("async_max_inflight must be positive or None")
 
 
 def paper_cluster(num_nodes: int = 8) -> EngineConfig:

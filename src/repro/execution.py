@@ -187,6 +187,17 @@ class Engine(ABC):
         if pool is not None:
             pool.close()
 
+    def clone(self, config: Optional[EngineConfig] = None) -> "Engine":
+        """A fresh engine of this class: own plan/slice caches, own
+        calibration store, no worker pool yet.  *config* overrides the
+        source engine's (the replica pool divides ``local_parallelism``
+        this way); planning behaviour is otherwise identical, so clones
+        produce bit-identical outputs and modeled metrics.  Subclasses
+        with extra constructor state (e.g. FuseME's optimizer method)
+        override to carry it across.
+        """
+        return type(self)(config if config is not None else self.config)
+
     def __enter__(self) -> "Engine":
         return self
 

@@ -287,6 +287,65 @@ def serving_families(
     return families
 
 
+def replica_families(
+    replicas: List[Mapping[str, Any]], prefix: str = "repro_replica"
+) -> List[MetricFamily]:
+    """Families for ``MatrixService.status()["replicas"]``: one sample per
+    engine replica, labeled ``replica=<name>`` — queue depth, busy/idle,
+    outcome counters, memory budget and calibration generation."""
+    queue_depth = MetricFamily(
+        f"{prefix}_queue_depth", "gauge",
+        "Queries waiting for admission, per replica",
+    )
+    running = MetricFamily(
+        f"{prefix}_running", "gauge",
+        "Queries currently executing, per replica",
+    )
+    busy = MetricFamily(
+        f"{prefix}_busy", "gauge",
+        "1 when the replica is executing at least one query",
+    )
+    budget = MetricFamily(
+        f"{prefix}_memory_budget_bytes", "gauge",
+        "Admission memory budget share, per replica",
+    )
+    generation = MetricFamily(
+        f"{prefix}_calibration_generation", "gauge",
+        "Shared calibration-store generation seen by the replica",
+    )
+    served = MetricFamily(
+        f"{prefix}_served_total", "counter",
+        "Queries completed by the replica",
+    )
+    cache_hits = MetricFamily(
+        f"{prefix}_result_cache_hits_total", "counter",
+        "Result-cache hits answered on the replica's dispatch path",
+    )
+    failed = MetricFamily(
+        f"{prefix}_failed_total", "counter",
+        "Queries failed on the replica",
+    )
+    timed_out = MetricFamily(
+        f"{prefix}_timed_out_total", "counter",
+        "Queries expired from the replica's admission queue",
+    )
+    for replica in replicas:
+        name = str(replica.get("name", ""))
+        queue_depth.add(replica.get("queue_depth", 0), replica=name)
+        running.add(replica.get("running", 0), replica=name)
+        busy.add(1 if replica.get("busy") else 0, replica=name)
+        budget.add(replica.get("memory_budget_bytes", 0), replica=name)
+        generation.add(replica.get("calibration_generation", 0), replica=name)
+        served.add(replica.get("served", 0), replica=name)
+        cache_hits.add(replica.get("result_cache_hits", 0), replica=name)
+        failed.add(replica.get("failed", 0), replica=name)
+        timed_out.add(replica.get("timed_out", 0), replica=name)
+    return [
+        queue_depth, running, busy, budget, generation,
+        served, cache_hits, failed, timed_out,
+    ]
+
+
 def calibration_families(
     stats: Mapping[str, Any], prefix: str = "repro_calibration"
 ) -> List[MetricFamily]:

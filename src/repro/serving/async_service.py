@@ -1,0 +1,245 @@
+"""Asyncio front end over the replica pool: submit/await with backpressure.
+
+:class:`AsyncMatrixService` wraps a (synchronous) :class:`MatrixService`
+for event-loop callers.  Three design points:
+
+* **shed before the queue** — an asyncio semaphore caps the coroutines
+  in flight (``ServiceConfig.async_max_inflight``, default
+  ``2 * max_queue_depth``); with the default ``shed=True`` a submit that
+  finds the cap exhausted raises
+  :class:`~repro.errors.ServiceOverloadedError` *immediately*, before
+  touching any admission queue — overload is rejected at the door, not
+  buffered into latency.  ``shed=False`` opts a submitter into waiting
+  for a permit instead (cooperatively — the loop stays responsive).
+* **threads bridge to the loop, never block it** — the actual execution
+  happens on the pool's per-replica dispatcher threads; completion comes
+  back via :meth:`QueryTicket.add_done_callback` +
+  ``loop.call_soon_threadsafe``, so no coroutine ever blocks a thread on
+  ``ticket.result()`` and no polling task spins.
+* **zero new execution semantics** — routing, admission, fairness,
+  caching and the 1-vs-N determinism contract are entirely the sync
+  service's; this module only adapts the waiting.
+
+Usage::
+
+    async with AsyncMatrixService(FuseMEEngine(config), service_config) as svc:
+        alice = svc.open_session("alice").bind("X", x)
+        results = await asyncio.gather(*[
+            svc.execute(alice, query) for query in workload
+        ])
+
+Like :mod:`repro.serving.pool`, this is front-end plumbing and imports
+nothing above the serving layer (enforced by ``scripts/check_layers.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
+
+from repro.config import ServiceConfig
+from repro.errors import ServiceOverloadedError
+from repro.serving.service import MatrixService
+from repro.serving.ticket import QueryTicket, ServedResult
+
+if TYPE_CHECKING:
+    from repro.execution import Engine
+    from repro.matrix.distributed import BlockedMatrix
+    from repro.serving.session import Session
+
+
+class AsyncSession:
+    """Thin async wrapper pairing a sync session with its async service."""
+
+    def __init__(self, service: "AsyncMatrixService", session: "Session"):
+        self._service = service
+        self._session = session
+
+    @property
+    def session(self) -> "Session":
+        """The underlying synchronous session."""
+        return self._session
+
+    @property
+    def tenant(self) -> str:
+        return self._session.tenant
+
+    def bind(self, name: str, matrix: "BlockedMatrix") -> "AsyncSession":
+        self._session.bind(name, matrix)
+        return self
+
+    def bind_many(
+        self, matrices: Mapping[str, "BlockedMatrix"]
+    ) -> "AsyncSession":
+        self._session.bind_many(matrices)
+        return self
+
+    async def submit(self, query, inputs=None, priority: int = 0,
+                     shed: bool = True) -> "asyncio.Future[ServedResult]":
+        return await self._service.submit(
+            self._session, query, inputs, priority, shed=shed
+        )
+
+    async def execute(self, query, inputs=None, priority: int = 0,
+                      shed: bool = True) -> ServedResult:
+        return await self._service.execute(
+            self._session, query, inputs, priority, shed=shed
+        )
+
+    def close(self) -> None:
+        self._session.close()
+
+
+class AsyncMatrixService:
+    """``async submit / await result`` over a :class:`MatrixService`.
+
+    Construct it either around an engine (a sync service is built
+    internally) or around an existing ``MatrixService`` via ``service=``.
+    """
+
+    def __init__(
+        self,
+        engine: Optional["Engine"] = None,
+        config: Optional[ServiceConfig] = None,
+        *,
+        service: Optional[MatrixService] = None,
+        max_inflight: Optional[int] = None,
+    ):
+        if service is not None and engine is not None:
+            raise ValueError("pass either an engine or a service, not both")
+        self.service = service or MatrixService(engine, config)
+        self.config = self.service.config
+        if max_inflight is None:
+            max_inflight = self.config.async_max_inflight
+        if max_inflight is None:
+            max_inflight = 2 * self.config.max_queue_depth
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        self.max_inflight = max_inflight
+        # the semaphore binds to the loop it is first used on; created
+        # lazily (and re-created if the service outlives a loop, as it
+        # does across back-to-back asyncio.run calls in tests/benchmarks)
+        self._sem: Optional[asyncio.Semaphore] = None
+        self._sem_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        loop = asyncio.get_running_loop()
+        if self._sem is None or self._sem_loop is not loop:
+            self._sem = asyncio.Semaphore(self.max_inflight)
+            self._sem_loop = loop
+        return self._sem
+
+    # -- sessions ---------------------------------------------------------
+
+    def open_session(self, tenant: str) -> AsyncSession:
+        return AsyncSession(self, self.service.open_session(tenant))
+
+    # -- submission -------------------------------------------------------
+
+    async def submit(
+        self,
+        session,
+        query,
+        inputs: Optional[Mapping[str, "BlockedMatrix"]] = None,
+        priority: int = 0,
+        shed: bool = True,
+    ) -> "asyncio.Future[ServedResult]":
+        """Submit *query*; returns an awaitable future for its result.
+
+        With ``shed=True`` (default) a submit beyond ``max_inflight``
+        raises :class:`~repro.errors.ServiceOverloadedError` without
+        queueing anything; ``shed=False`` waits for a permit instead.
+        *session* may be an :class:`AsyncSession` or a plain sync session.
+        """
+        if isinstance(session, AsyncSession):
+            session = session.session
+        sem = self._semaphore()
+        if shed and sem.locked():
+            raise ServiceOverloadedError(
+                f"async front end at capacity ({self.max_inflight} queries "
+                f"in flight); submit shed before admission"
+            )
+        await sem.acquire()
+        try:
+            ticket = self.service.submit(session, query, inputs, priority)
+        except BaseException:
+            sem.release()
+            raise
+        return self._bridge(ticket, sem)
+
+    async def execute(
+        self,
+        session,
+        query,
+        inputs: Optional[Mapping[str, "BlockedMatrix"]] = None,
+        priority: int = 0,
+        shed: bool = True,
+    ) -> ServedResult:
+        """Submit and await the result."""
+        future = await self.submit(session, query, inputs, priority, shed=shed)
+        return await future
+
+    def _bridge(
+        self, ticket: QueryTicket, sem: asyncio.Semaphore
+    ) -> "asyncio.Future[ServedResult]":
+        """An asyncio future resolved from the ticket's completion
+        callback.  The callback runs on a replica dispatcher thread (or
+        inline on a cache hit), so it only schedules loop work; the permit
+        is released on the loop, alongside the future's resolution."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[ServedResult]" = loop.create_future()
+
+        def finish(done: QueryTicket) -> None:
+            sem.release()
+            error = done._error
+            if future.cancelled():
+                return
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(done._value)
+
+        def on_done(done: QueryTicket) -> None:
+            try:
+                loop.call_soon_threadsafe(finish, done)
+            except RuntimeError:
+                # the loop closed while the query was in flight (e.g. an
+                # abandoned asyncio.run); nothing is awaiting the future
+                pass
+
+        ticket.add_done_callback(on_done)
+        return future
+
+    # -- passthrough ------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        return self.service.status()
+
+    def prometheus(self) -> str:
+        return self.service.prometheus()
+
+    @property
+    def closed(self) -> bool:
+        return self.service.closed
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def close(self, drain: bool = True,
+                    timeout: Optional[float] = None) -> None:
+        """Close the underlying service without blocking the loop."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.service.close(drain=drain, timeout=timeout)
+        )
+
+    async def __aenter__(self) -> "AsyncMatrixService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncMatrixService(max_inflight={self.max_inflight}, "
+            f"service={self.service!r})"
+        )

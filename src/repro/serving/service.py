@@ -1,36 +1,41 @@
 """The multi-tenant query service front end.
 
-A :class:`MatrixService` turns one engine + one
-:class:`~repro.cluster.executor.SimulatedCluster` into a long-lived service
-that many tenants share::
+A :class:`MatrixService` turns an engine into a long-lived service that
+many tenants share, scaled horizontally across N engine replicas::
 
-    submit ──► result-cache probe ──► per-tenant admission queues
-                                            │  dispatcher thread
-                                            ▼
-                    wave = next_wave()        (deficit round-robin;
-                                               <= max_concurrency queries,
-                                               sum(cost) <= memory budget)
-                    parallel_map(run, wave)   (repro.cluster.parallel)
-                                            │  engine execute lock
-                                            ▼
-                    shared engine + cluster + plan/slice/result caches
+    submit ──► result-cache probe (shared) ──► consistent-hash route
+                                                     │ by tenant
+                     ┌───────────────┬───────────────┤
+                     ▼               ▼               ▼
+               replica-0       replica-1   ...  replica-N-1
+               (own cluster,   (own cluster,    (own cluster,
+                admission       admission        admission
+                queue +         queue +          queue +
+                dispatcher)     dispatcher)      dispatcher)
+                     └───────────────┴───────────────┘
+                       shared result cache + shared
+                       calibration store + metrics
 
-**Determinism.**  Queries in a wave are *drained* by the thread pool, but
-cluster-stage accounting is serialized by the engine's execute lock, each
-query's result carries only the metrics delta it accumulated, and the
-per-slot runtime is stateless across stages — so a fixed workload replayed
-through the service produces bit-identical outputs and identical modeled
-per-query seconds/bytes to running every query standalone through
-``engine.execute()``.  Only wall-clock timing and observability counters
-depend on scheduling.
+Each replica dispatches deficit-round-robin waves through its own engine
+(see :mod:`repro.serving.pool`); with ``ServiceConfig.num_replicas=1``
+the service behaves exactly like the original single-engine front end.
+
+**Determinism.**  A replica executes exactly like a standalone engine —
+per-query metric deltas, execute-lock serialization, stateless per-slot
+runtime — so a fixed workload replayed through the service produces
+bit-identical outputs and identical modeled per-query seconds/bytes to
+running every query standalone through ``engine.execute()``, whether the
+pool holds 1 replica or N.  Only wall-clock timing and observability
+counters depend on scheduling and replica count.
 
 **Robustness.**  Admission control (see :mod:`repro.serving.admission`)
-guarantees a query never starts unless its estimated footprint fits the
-service memory budget alongside the rest of its wave: over-budget queries
-wait in a bounded queue or are shed with
-:class:`~repro.errors.ServiceOverloadedError` — they never start and
-O.O.M. mid-flight.  Queued queries expire with
-:class:`~repro.errors.QueryTimeoutError` after the configured wait.
+guarantees a query never starts unless its estimated footprint fits its
+replica's share of the service memory budget alongside the rest of its
+wave — and the shares *sum* to the one configured budget, so N replicas
+never collectively over-admit.  Over-budget queries wait in a bounded
+queue or are shed with :class:`~repro.errors.ServiceOverloadedError`;
+queued queries expire with :class:`~repro.errors.QueryTimeoutError`
+after the configured wait.
 """
 
 from __future__ import annotations
@@ -39,20 +44,17 @@ import itertools
 import logging
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.cluster.executor import SimulatedCluster
-from repro.cluster.parallel import parallel_map
 from repro.config import ServiceConfig
 from repro.core import FuseMEEngine
 from repro.errors import (
-    QueryTimeoutError,
     ServingError,
     ServiceOverloadedError,
     SessionClosedError,
 )
-from repro.execution import Engine, ExecutionResult, Query, as_dag
+from repro.execution import Engine, Query, as_dag
 from repro.matrix.distributed import BlockedMatrix
 from repro.obs import QueryProfile
 from repro.obs.prometheus import (
@@ -60,108 +62,46 @@ from repro.obs.prometheus import (
     calibration_families,
     engine_families,
     render_exposition,
+    replica_families,
     serving_families,
 )
-from repro.serving.admission import AdmissionController, estimate_query_bytes
+from repro.serving.admission import estimate_query_bytes
 from repro.serving.metrics import ServiceMetrics
+from repro.serving.pool import EngineReplica, ReplicaPool
 from repro.serving.result_cache import ResultCache, result_key
 from repro.serving.session import Session
+from repro.serving.ticket import QueryTicket, ServedResult
+
+__all__ = ["MatrixService", "QueryTicket", "ServedResult"]
 
 logger = logging.getLogger("repro.serving")
 
 
-@dataclass(frozen=True)
-class ServedResult:
-    """What a finished query hands back to its tenant."""
-
-    query_id: str
-    tenant: str
-    #: The underlying execution (or the cached one, on a result-cache hit).
-    result: ExecutionResult
-    #: True when the result cache answered without re-execution.
-    from_cache: bool
-    #: Wall-clock seconds spent queued before execution started.
-    queue_seconds: float
-    #: Wall-clock seconds from submission to completion.
-    service_seconds: float
-
-    def output(self, index: int = 0) -> BlockedMatrix:
-        return self.result.output(index)
-
-    @property
-    def outputs(self):
-        return self.result.outputs
-
-    @property
-    def metrics(self):
-        """This query's own modeled metrics delta."""
-        return self.result.metrics
-
-
-class QueryTicket:
-    """Future-like handle for one submitted query."""
-
-    def __init__(
-        self,
-        query_id: str,
-        tenant: str,
-        dag,
-        bound: Dict[str, BlockedMatrix],
-        cost: int,
-        priority: int,
-    ):
-        self.query_id = query_id
-        self.tenant = tenant
-        self.dag = dag
-        self.bound = bound
-        #: Estimated footprint in bytes (the admission currency).
-        self.cost = cost
-        self.priority = priority
-        self.enqueued_at = time.monotonic()
-        self._event = threading.Event()
-        self._value: Optional[ServedResult] = None
-        self._error: Optional[BaseException] = None
-
-    def done(self) -> bool:
-        return self._event.is_set()
-
-    def result(self, timeout: Optional[float] = None) -> ServedResult:
-        """Block until the query finishes; re-raises its failure if any."""
-        if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"query {self.query_id} did not complete within {timeout}s"
-            )
-        if self._error is not None:
-            raise self._error
-        assert self._value is not None
-        return self._value
-
-    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
-        """The query's failure (None if it succeeded); blocks like result()."""
-        if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"query {self.query_id} did not complete within {timeout}s"
-            )
-        return self._error
-
-    def _resolve(self, value: ServedResult) -> None:
-        self._value = value
-        self._event.set()
-
-    def _fail(self, error: BaseException) -> None:
-        self._error = error
-        self._event.set()
-
-    def __repr__(self) -> str:
-        state = "done" if self.done() else "pending"
-        return (
-            f"QueryTicket(id={self.query_id!r}, tenant={self.tenant!r}, "
-            f"cost={self.cost}, priority={self.priority}, {state})"
-        )
+def _merge_cache_stats(stats: List[Dict[str, object]]) -> Dict[str, object]:
+    """Pool-wide view of per-replica cache stats: numeric fields sum,
+    ``hit_rate`` is recomputed from the summed hits/misses, and flags
+    (``enabled``) come from replica 0.  With one replica this returns its
+    stats unchanged, so status consumers never see a shape change."""
+    if len(stats) == 1:
+        return dict(stats[0])
+    merged: Dict[str, object] = dict(stats[0])
+    for key in merged:
+        if key == "hit_rate":
+            continue
+        if isinstance(merged[key], (int, float)) and not isinstance(
+            merged[key], bool
+        ):
+            merged[key] = sum(s.get(key, 0) for s in stats)
+    if "hit_rate" in merged:
+        hits = sum(int(s.get("hits", 0)) for s in stats)
+        misses = sum(int(s.get("misses", 0)) for s in stats)
+        lookups = hits + misses
+        merged["hit_rate"] = (hits / lookups) if lookups else 0.0
+    return merged
 
 
 class MatrixService:
-    """Long-lived, multi-tenant matrix query service over one engine.
+    """Long-lived, multi-tenant matrix query service over a replica pool.
 
     Usage::
 
@@ -172,9 +112,12 @@ class MatrixService:
             ...
             print(service.status())
 
-    The service owns one :class:`SimulatedCluster` (whole-job totals keep
-    accumulating on it) and shares the engine's plan cache and slice cache
-    across every tenant; the result cache is the service's own.
+    The engine handed in becomes replica 0 (with
+    ``ServiceConfig.num_replicas=1`` — the default — the service is
+    exactly the single-engine front end it always was); further replicas
+    are ``engine.clone()``s.  The result cache, calibration store and
+    service metrics are shared across all replicas; plan and slice caches
+    stay per-replica (tenant affinity keeps them warm).
     """
 
     def __init__(
@@ -185,7 +128,6 @@ class MatrixService:
     ):
         self.engine = engine if engine is not None else FuseMEEngine()
         self.config = config or ServiceConfig()
-        self.cluster = cluster or SimulatedCluster(self.engine.config)
         budget = self.config.memory_budget_bytes
         if budget is None:
             budget = self.engine.config.cluster.total_memory_budget
@@ -193,24 +135,35 @@ class MatrixService:
         self.result_cache = ResultCache(
             self.config.result_cache_entries, self.config.result_cache_bytes
         )
-        self._admission = AdmissionController(self.config, budget)
         self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
         self._sessions: Dict[str, Session] = {}
         self._session_seq = itertools.count(1)
         self._query_seq = itertools.count(1)
-        self._running = 0
         self._closed = False
+        self._close_lock = threading.Lock()
         self._last_logged = 0
-        self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name="repro-serving-dispatch", daemon=True
+        self.pool = ReplicaPool(
+            self.engine,
+            self.config,
+            result_cache=self.result_cache,
+            metrics=self.metrics,
+            memory_budget=budget,
+            cluster=cluster,
+            on_complete=self._maybe_log,
         )
-        self._dispatcher.start()
+
+    @property
+    def cluster(self) -> SimulatedCluster:
+        """Replica 0's cluster (the service's cluster, pre-pool): whole-job
+        totals for work routed there keep accumulating on it."""
+        return self.pool.replicas[0].cluster
 
     # -- sessions ---------------------------------------------------------
 
     def open_session(self, tenant: str) -> Session:
-        """A new session for *tenant* (fair-share groups by tenant name)."""
+        """A new session for *tenant* (fair-share groups by tenant name;
+        the replica router keys by tenant too, so a tenant's sessions all
+        land on one replica)."""
         with self._lock:
             if self._closed:
                 raise ServingError("service is closed")
@@ -235,9 +188,9 @@ class MatrixService:
         """Queue *query* for *session*; returns immediately with a ticket.
 
         Raises :class:`~repro.errors.ServiceOverloadedError` (load shed)
-        when the admission queue is full or the query could never fit the
-        memory budget, and propagates binding errors eagerly so a doomed
-        query never occupies queue space.
+        when the tenant's replica queue is full or the query could never
+        fit the replica's memory budget, and propagates binding errors
+        eagerly so a doomed query never occupies queue space.
         """
         if session.closed:
             raise SessionClosedError(f"session {session.session_id} is closed")
@@ -250,6 +203,9 @@ class MatrixService:
         ticket = QueryTicket(query_id, tenant, dag, bound, cost, priority)
         self.metrics.record_submitted(tenant)
 
+        # the result cache is shared pool-wide and the planning signature
+        # is identical across replica clones, so any replica's earlier
+        # fill answers this probe
         cached = self.result_cache.get(
             result_key(self.engine.planning_signature(), dag, bound)
         )
@@ -270,15 +226,14 @@ class MatrixService:
             self._maybe_log()
             return ticket
 
-        with self._cond:
-            if self._closed:
-                raise ServingError("service is closed")
-            try:
-                self._admission.offer(ticket)
-            except ServiceOverloadedError:
-                self.metrics.record_shed(tenant)
-                raise
-            self._cond.notify_all()
+        if self._closed:
+            raise ServingError("service is closed")
+        replica = self.pool.replica_for(tenant)
+        try:
+            replica.offer(ticket)
+        except ServiceOverloadedError:
+            self.metrics.record_shed(tenant)
+            raise
         return ticket
 
     def execute(
@@ -301,16 +256,18 @@ class MatrixService:
         """Render *query*'s physical plan without executing it.
 
         Resolves bindings exactly like :meth:`submit` (so the plan reflects
-        this session's inputs), plans and lowers on the shared engine —
-        warming the plan cache for a later execute — and never opens a
-        cluster stage, bypasses admission, and touches no result cache.
+        this session's inputs), plans and lowers on the tenant's replica
+        engine — warming the plan cache a later execute will hit — and
+        never opens a cluster stage, bypasses admission, and touches no
+        result cache.
         """
         if session.closed:
             raise SessionClosedError(f"session {session.session_id} is closed")
         dag = as_dag(query)
         bound = session.resolve_inputs(inputs)
         dag.validate_inputs(bound.keys())
-        return self.engine.explain(dag, bound)
+        replica = self.pool.replica_for(session.tenant)
+        return replica.engine.explain(dag, bound)
 
     def profile(
         self,
@@ -335,112 +292,58 @@ class MatrixService:
         assert profile is not None
         return profile
 
-    # -- dispatch ---------------------------------------------------------
+    # -- replica management -----------------------------------------------
 
-    def _dispatch_loop(self) -> None:
-        poll = self.config.dispatch_poll_seconds
-        while True:
-            with self._cond:
-                while not self._closed and self._admission.depth == 0:
-                    self._cond.wait(poll)
-                expired = self._admission.expire(time.monotonic())
-                wave = self._admission.next_wave()
-                if (
-                    self._closed
-                    and not wave
-                    and not expired
-                    and self._admission.depth == 0
-                ):
-                    return
-                self._running += len(wave)
-            for ticket in expired:
-                self._expire_ticket(ticket)
-            if wave:
-                # the wave drains on the same thread-pool path queries use
-                # for intra-query parallelism; the engine's execute lock
-                # serializes cluster-stage accounting inside
-                parallel_map(self._run_one, wave, self.config.max_concurrency)
+    def replica_for(self, tenant: str) -> EngineReplica:
+        """The replica currently serving *tenant*."""
+        return self.pool.replica_for(tenant)
 
-    def _run_one(self, ticket: QueryTicket) -> None:
-        started = time.monotonic()
-        queue_seconds = started - ticket.enqueued_at
-        try:
-            # recompute the key: a set_block between submit and execution
-            # bumped the version, and the fresh result must be stored under
-            # the content actually read
-            key = result_key(
-                self.engine.planning_signature(), ticket.dag, ticket.bound
-            )
-            cached = self.result_cache.get(key)
-            if cached is not None:
-                result, from_cache = cached, True
-            else:
-                result = self.engine.execute(
-                    ticket.dag, ticket.bound, cluster=self.cluster
-                )
-                self.result_cache.put(key, result, pins=ticket.bound)
-                from_cache = False
-            total = time.monotonic() - ticket.enqueued_at
-            served = ServedResult(
-                query_id=ticket.query_id,
-                tenant=ticket.tenant,
-                result=result,
-                from_cache=from_cache,
-                queue_seconds=queue_seconds,
-                service_seconds=total,
-            )
-            self.metrics.record_served(
-                ticket.tenant, from_cache,
-                queue_seconds=queue_seconds, total_seconds=total,
-            )
-            ticket._resolve(served)
-        except Exception as exc:  # noqa: BLE001 - failures belong to the ticket
-            self.metrics.record_failed(ticket.tenant)
-            ticket._fail(exc)
-        finally:
-            with self._cond:
-                self._running -= 1
-                self._cond.notify_all()
-            self._maybe_log()
-
-    def _expire_ticket(self, ticket: QueryTicket) -> None:
-        waited = time.monotonic() - ticket.enqueued_at
-        self.metrics.record_timed_out(ticket.tenant)
-        ticket._fail(QueryTimeoutError(
-            ticket.query_id, waited, self.config.queue_timeout_seconds
-        ))
-        self._maybe_log()
+    def rebalance(self) -> Dict[str, str]:
+        """The current ``tenant -> replica name`` assignment over the
+        tenants with open sessions (the explicit rebalance hook: call
+        after :meth:`ReplicaPool.add_replica` / ``remove_replica`` to see
+        where tenants moved)."""
+        with self._lock:
+            tenants = sorted({s.tenant for s in self._sessions.values()})
+        return self.pool.rebalance(tenants)
 
     # -- observability ----------------------------------------------------
 
     def status(self) -> Dict[str, object]:
         """Everything observable about the service, as one plain dict."""
         with self._lock:
-            queue_depth = self._admission.depth
-            running = self._running
             sessions = len(self._sessions)
             closed = self._closed
-            memory_budget = self._admission.memory_budget
+        replicas = self.pool.status()
         snap = self.metrics.snapshot()
         snap.update(
             closed=closed,
-            queue_depth=queue_depth,
-            running=running,
+            queue_depth=sum(int(r["queue_depth"]) for r in replicas),
+            running=sum(int(r["running"]) for r in replicas),
             sessions=sessions,
-            memory_budget_bytes=memory_budget,
+            num_replicas=len(replicas),
+            # pool-wide: the per-replica budgets sum back to the one
+            # configured service budget
+            memory_budget_bytes=sum(
+                int(r["memory_budget_bytes"]) for r in replicas
+            ),
             result_cache=self.result_cache.stats(),
-            plan_cache=self.engine.plan_cache.stats(),
-            slice_cache=self.engine.slice_cache.stats(),
-            # one store per engine, shared by every tenant of this service
+            plan_cache=_merge_cache_stats([r["plan_cache"] for r in replicas]),
+            slice_cache=_merge_cache_stats(
+                [r["slice_cache"] for r in replicas]
+            ),
+            # one store across the pool, shared by every replica and tenant
             calibration=self.engine.calibration.stats(),
             cluster=self.cluster.metrics.snapshot(),
+            replicas=replicas,
         )
         return snap
 
     def prometheus(self) -> str:
         """The whole service as one Prometheus text exposition page:
-        engine stage totals and counters, all three cache layers, and
-        per-tenant query outcomes + latency quantiles."""
+        engine stage totals and counters, all three cache layers,
+        per-tenant query outcomes + latency quantiles, and per-replica
+        gauges."""
         status = self.status()
         families = engine_families(status["cluster"])
         families += cache_families({
@@ -450,6 +353,7 @@ class MatrixService:
         })
         families += calibration_families(status["calibration"])
         families += serving_families(status)
+        families += replica_families(status["replicas"])
         return render_exposition(families)
 
     def _maybe_log(self) -> None:
@@ -461,8 +365,8 @@ class MatrixService:
             if completed < self._last_logged + every:
                 return
             self._last_logged = completed
-            queue_depth = self._admission.depth
-            running = self._running
+        queue_depth = self.pool.queue_depth
+        running = self.pool.running
         logger.info("%s", self.metrics.log_line(queue_depth, running))
 
     # -- lifecycle --------------------------------------------------------
@@ -472,27 +376,21 @@ class MatrixService:
         return self._closed
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Stop accepting queries and shut the dispatcher down.
+        """Stop accepting queries and shut every replica down.
 
-        ``drain=True`` (default) lets already-queued queries finish;
-        ``drain=False`` fails them with ServiceOverloadedError.  The
-        engine's runtime resources (the process-backend worker pool) are
-        released after the dispatcher stops, so in-flight queries finish on
-        whatever backend they started with.
+        Idempotent and concurrency-safe: concurrent closers serialize on
+        the close lock, a second close finds every replica already closed
+        and returns quietly, and close during in-flight queries lets them
+        finish (``drain=True``, the default) or fails queued ones with
+        ServiceOverloadedError (``drain=False``).  Engine runtime
+        resources (worker-process pools) are released after each replica's
+        dispatcher stops, so in-flight queries finish on whatever backend
+        they started with.
         """
-        with self._cond:
-            self._closed = True
-            leftovers = [] if drain else self._admission.drain()
-            self._cond.notify_all()
-        for ticket in leftovers:
-            self.metrics.record_shed(ticket.tenant)
-            ticket._fail(ServiceOverloadedError(
-                f"query {ticket.query_id} dropped: service shutting down"
-            ))
-        self._dispatcher.join(timeout)
-        closer = getattr(self.engine, "close", None)
-        if closer is not None:
-            closer()
+        with self._close_lock:
+            with self._lock:
+                self._closed = True
+            self.pool.close(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "MatrixService":
         return self
@@ -503,6 +401,7 @@ class MatrixService:
     def __repr__(self) -> str:
         return (
             f"MatrixService(engine={self.engine.name!r}, "
-            f"queue_depth={self._admission.depth}, running={self._running}, "
-            f"closed={self._closed})"
+            f"replicas={len(self.pool)}, "
+            f"queue_depth={self.pool.queue_depth}, "
+            f"running={self.pool.running}, closed={self._closed})"
         )

@@ -1,0 +1,103 @@
+"""The scale-out determinism contract, across all five engines.
+
+Any query's output and modeled metrics must be bit-identical whether it
+is served by 1 replica or N — and identical to running it standalone
+through ``engine.execute()``.  Only wall-clock timing and per-replica
+counters may differ.  The result cache is disabled so every path truly
+executes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistMELikeEngine,
+    FuseMEEngine,
+    LocalXLAEngine,
+    MatFastLikeEngine,
+    SystemDSLikeEngine,
+)
+from repro.config import ServiceConfig
+from repro.lang import matrix_input
+from repro.matrix import rand_dense, rand_sparse
+from repro.serving import MatrixService
+
+from tests.conftest import make_config
+
+BS = 25
+
+ENGINES = [
+    FuseMEEngine,
+    DistMELikeEngine,
+    SystemDSLikeEngine,
+    MatFastLikeEngine,
+    LocalXLAEngine,
+]
+
+QUERY = (
+    matrix_input("X", 75, 50, BS, density=0.2)
+    @ matrix_input("W", 50, 50, BS)
+) * 2.0
+
+#: tenant -> bound inputs; distinct seeds so outputs differ per tenant.
+TENANTS = {
+    f"tenant-{i}": {
+        "X": rand_sparse(75, 50, density=0.2, block_size=BS, seed=100 + i),
+        "W": rand_dense(50, 50, BS, seed=200 + i),
+    }
+    for i in range(5)
+}
+
+
+def replay(engine_cls, num_replicas):
+    """Serve every tenant's query through a pool of *num_replicas*."""
+    service = MatrixService(
+        engine_cls(make_config()),
+        ServiceConfig(
+            num_replicas=num_replicas,
+            result_cache_entries=0,
+            dispatch_poll_seconds=0.005,
+        ),
+    )
+    outcomes = {}
+    try:
+        for tenant, inputs in TENANTS.items():
+            session = service.open_session(tenant).bind_many(inputs)
+            served = session.execute(QUERY, timeout=60.0)
+            outcomes[tenant] = (
+                served.output().to_numpy(),
+                served.metrics.totals(),
+                served.replica,
+            )
+    finally:
+        service.close()
+    return outcomes
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES, ids=lambda c: c.name)
+def test_one_vs_n_replicas_is_bit_identical(engine_cls):
+    # standalone references, one fresh engine per tenant
+    references = {}
+    for tenant, inputs in TENANTS.items():
+        result = engine_cls(make_config()).execute(QUERY, inputs)
+        references[tenant] = (
+            result.output(0).to_numpy(), result.metrics.totals()
+        )
+
+    single = replay(engine_cls, num_replicas=1)
+    pooled = replay(engine_cls, num_replicas=3)
+
+    for tenant in TENANTS:
+        ref_out, ref_totals = references[tenant]
+        for label, outcomes in (("1 replica", single), ("3 replicas", pooled)):
+            out, totals, _ = outcomes[tenant]
+            np.testing.assert_array_equal(
+                out, ref_out,
+                err_msg=f"{tenant} via {label}: output drifted",
+            )
+            assert totals == ref_totals, (
+                f"{tenant} via {label}: modeled metrics drifted"
+            )
+
+    # the pooled run actually exercised more than one replica
+    assert len({outcome[2] for outcome in pooled.values()}) > 1

@@ -1,0 +1,216 @@
+"""Async front end: loop bridging, backpressure shedding, lifecycle.
+
+Backpressure scenarios use the gated StubEngine (execute parks on an
+event), so "at capacity" states are constructed deterministically instead
+of by racing the dispatcher.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.errors import ServiceOverloadedError
+from repro.lang import matrix_input
+from repro.matrix import rand_dense
+from repro.serving import AsyncMatrixService, MatrixService
+
+from tests.serving.test_service import StubEngine
+
+QUERY = matrix_input("X", 50, 50, 25) * 2.0
+
+
+def make_async(engine=None, max_inflight=None, **options):
+    options.setdefault("dispatch_poll_seconds", 0.005)
+    return AsyncMatrixService(
+        engine or StubEngine(),
+        ServiceConfig(**options),
+        max_inflight=max_inflight,
+    )
+
+
+def x_matrix(seed=1):
+    return rand_dense(50, 50, 25, seed=seed)
+
+
+def test_roundtrip_matches_sync_service():
+    matrix = x_matrix()
+
+    async def scenario():
+        async with make_async(result_cache_entries=0) as service:
+            session = service.open_session("alice").bind("X", matrix)
+            return await asyncio.wait_for(session.execute(QUERY), timeout=10.0)
+
+    served = asyncio.run(scenario())
+
+    sync_service = MatrixService(
+        StubEngine(), ServiceConfig(result_cache_entries=0)
+    )
+    try:
+        sync_session = sync_service.open_session("alice").bind("X", matrix)
+        reference = sync_session.execute(QUERY, timeout=10.0)
+    finally:
+        sync_service.close()
+    assert (
+        served.output().to_numpy() == reference.output().to_numpy()
+    ).all()
+    assert served.tenant == reference.tenant == "alice"
+
+
+def test_gather_many_queries():
+    async def scenario():
+        config = ServiceConfig(
+            num_replicas=2, result_cache_entries=0,
+            dispatch_poll_seconds=0.005,
+        )
+        async with AsyncMatrixService(StubEngine(), config) as service:
+            session = service.open_session("alice").bind("X", x_matrix())
+            results = await asyncio.wait_for(
+                asyncio.gather(*[session.execute(QUERY) for _ in range(8)]),
+                timeout=30.0,
+            )
+            return results, service.status()
+
+    results, status = asyncio.run(scenario())
+    assert len(results) == 8
+    assert status["served"] == 8
+    # tenant affinity holds through the async path too
+    assert len({r.replica for r in results}) == 1
+
+
+def test_backpressure_sheds_before_the_queue():
+    engine = StubEngine()
+    engine.release.clear()
+
+    async def scenario():
+        async with make_async(
+            engine, max_inflight=1, result_cache_entries=0
+        ) as service:
+            session = service.open_session("alice").bind("X", x_matrix())
+            future = await session.submit(QUERY)
+            # the single permit is held by the in-flight query
+            with pytest.raises(ServiceOverloadedError):
+                await session.submit(QUERY)
+            status = service.status()
+            engine.release.set()
+            served = await asyncio.wait_for(future, timeout=10.0)
+            return status, served
+
+    status, served = asyncio.run(scenario())
+    # the shed happened at the front door: the sync service never saw it
+    assert status["submitted"] == 1
+    assert status["shed"] == 0
+    assert served.output() is not None
+
+
+def test_shed_false_waits_for_a_permit():
+    engine = StubEngine()
+    engine.release.clear()
+
+    async def scenario():
+        async with make_async(
+            engine, max_inflight=1, result_cache_entries=0
+        ) as service:
+            session = service.open_session("alice").bind("X", x_matrix())
+            first = await session.submit(QUERY)
+            waiter = asyncio.ensure_future(
+                session.execute(QUERY, shed=False)
+            )
+            await asyncio.sleep(0.05)
+            assert not waiter.done(), "shed=False must wait, not fail"
+            engine.release.set()
+            return (
+                await asyncio.wait_for(first, timeout=10.0),
+                await asyncio.wait_for(waiter, timeout=10.0),
+            )
+
+    first, second = asyncio.run(scenario())
+    assert first.output() is not None
+    assert second.output() is not None
+
+
+def test_result_cache_hit_resolves_without_waiting():
+    async def scenario():
+        async with make_async() as service:
+            session = service.open_session("alice").bind("X", x_matrix())
+            miss = await asyncio.wait_for(
+                session.execute(QUERY), timeout=10.0
+            )
+            hit = await asyncio.wait_for(session.execute(QUERY), timeout=10.0)
+            return miss, hit
+
+    miss, hit = asyncio.run(scenario())
+    assert not miss.from_cache
+    assert hit.from_cache
+
+
+def test_failures_propagate_to_the_awaiter():
+    engine = StubEngine(fail_with=RuntimeError("kernel exploded"))
+
+    async def scenario():
+        async with make_async(engine, result_cache_entries=0) as service:
+            session = service.open_session("alice").bind("X", x_matrix())
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                await asyncio.wait_for(session.execute(QUERY), timeout=10.0)
+            return service.status()
+
+    status = asyncio.run(scenario())
+    assert status["failed"] == 1
+
+
+def test_close_during_inflight_drains():
+    engine = StubEngine()
+    engine.release.clear()
+
+    async def scenario():
+        service = make_async(engine, result_cache_entries=0)
+        session = service.open_session("alice").bind("X", x_matrix())
+        future = await session.submit(QUERY)
+        engine.release.set()
+        await service.close()
+        await service.close()  # idempotent through the async path too
+        assert service.closed
+        return await asyncio.wait_for(future, timeout=10.0)
+
+    served = asyncio.run(scenario())
+    assert served.output() is not None
+
+
+def test_wrapping_an_existing_sync_service():
+    sync_service = MatrixService(
+        StubEngine(), ServiceConfig(result_cache_entries=0)
+    )
+
+    async def scenario():
+        service = AsyncMatrixService(service=sync_service)
+        session = service.open_session("alice").bind("X", x_matrix())
+        return await asyncio.wait_for(session.execute(QUERY), timeout=10.0)
+
+    try:
+        assert asyncio.run(scenario()).output() is not None
+    finally:
+        sync_service.close()
+
+
+def test_engine_and_service_are_mutually_exclusive():
+    sync_service = MatrixService(StubEngine())
+    try:
+        with pytest.raises(ValueError):
+            AsyncMatrixService(StubEngine(), service=sync_service)
+    finally:
+        sync_service.close()
+
+
+def test_semaphore_survives_back_to_back_loops():
+    service = make_async(result_cache_entries=0)
+
+    async def one(seed):
+        session = service.open_session(f"tenant-{seed}").bind(
+            "X", x_matrix(seed)
+        )
+        return await asyncio.wait_for(session.execute(QUERY), timeout=10.0)
+
+    # two separate asyncio.run calls: the semaphore must rebind per loop
+    assert asyncio.run(one(1)).output() is not None
+    assert asyncio.run(one(2)).output() is not None
+    asyncio.run(service.close())

@@ -1,0 +1,87 @@
+"""Consistent-hash ring: determinism, spread, bounded movement on resize."""
+
+import pytest
+
+from repro.serving.routing import ConsistentHashRing, stable_hash
+
+TENANTS = [f"tenant-{i}" for i in range(200)]
+
+
+def test_stable_hash_is_process_independent():
+    # pinned values: the ring must route identically in every process
+    # (Python's salted hash() would not)
+    assert stable_hash("tenant-0") == stable_hash("tenant-0")
+    assert stable_hash("tenant-0") != stable_hash("tenant-1")
+    assert 0 <= stable_hash("anything") < 2**64
+
+
+def test_route_is_deterministic_across_ring_instances():
+    a = ConsistentHashRing(["replica-0", "replica-1", "replica-2"])
+    b = ConsistentHashRing(["replica-2", "replica-0", "replica-1"])
+    for tenant in TENANTS:
+        assert a.route(tenant) == b.route(tenant)
+
+
+def test_every_member_gets_keys():
+    members = [f"replica-{i}" for i in range(4)]
+    ring = ConsistentHashRing(members)
+    assignments = ring.assignments(TENANTS)
+    counts = {m: 0 for m in members}
+    for member in assignments.values():
+        counts[member] += 1
+    assert all(count > 0 for count in counts.values())
+    # vnodes keep the spread sane: no member owns more than half the keys
+    assert max(counts.values()) < len(TENANTS) // 2
+
+
+def test_add_moves_keys_only_to_the_new_member():
+    ring = ConsistentHashRing(["replica-0", "replica-1", "replica-2"])
+    before = ring.assignments(TENANTS)
+    ring.add("replica-3")
+    after = ring.assignments(TENANTS)
+    moved = [t for t in TENANTS if before[t] != after[t]]
+    assert moved, "adding a member should claim some keys"
+    assert all(after[t] == "replica-3" for t in moved)
+    # bounded movement: roughly 1/4 of keys move, never the majority
+    assert len(moved) < len(TENANTS) // 2
+
+
+def test_remove_moves_only_the_removed_members_keys():
+    ring = ConsistentHashRing([f"replica-{i}" for i in range(4)])
+    before = ring.assignments(TENANTS)
+    ring.remove("replica-2")
+    after = ring.assignments(TENANTS)
+    for tenant in TENANTS:
+        if before[tenant] == "replica-2":
+            assert after[tenant] != "replica-2"
+        else:
+            assert after[tenant] == before[tenant]
+
+
+def test_add_then_remove_restores_original_assignment():
+    ring = ConsistentHashRing(["replica-0", "replica-1"])
+    before = ring.assignments(TENANTS)
+    ring.add("replica-2")
+    ring.remove("replica-2")
+    assert ring.assignments(TENANTS) == before
+
+
+def test_membership_queries():
+    ring = ConsistentHashRing(["replica-0"])
+    assert len(ring) == 1
+    assert "replica-0" in ring
+    assert "replica-1" not in ring
+    assert ring.members == frozenset({"replica-0"})
+
+
+def test_error_cases():
+    ring = ConsistentHashRing()
+    with pytest.raises(LookupError):
+        ring.route("tenant")
+    ring.add("replica-0")
+    with pytest.raises(ValueError):
+        ring.add("replica-0")
+    with pytest.raises(KeyError):
+        ring.remove("replica-9")
+    with pytest.raises(ValueError):
+        ConsistentHashRing(vnodes=0)
