@@ -110,6 +110,15 @@ SERVING_POOL_FILES = (
 SERVING_POOL_ALLOWED = {"serving", "cluster", "obs", "utils", "errors",
                         "config"}
 
+#: ``core/passes`` is the graph-level rewrite pipeline over the physical
+#: IR: it sits strictly between lowering (``core/physical.py``) and engine
+#: annotation.  It prices rewrites through the cost model only — never by
+#: touching the runtime — so regardless of what the wider ``core`` layer
+#: is allowed, it must not import the cluster substrate, the execution
+#: layer, the physical operators, baselines, or serving.
+PASSES_FORBIDDEN = {"cluster", "execution", "operators", "baselines",
+                    "serving"}
+
 
 def layer_of(path: Path) -> str | None:
     """The layer a source file belongs to (None for the repro facade)."""
@@ -204,6 +213,14 @@ def main() -> int:
                         f"{rel}:{lineno}: the replica pool / async front end "
                         f"is front-end plumbing and must not import "
                         f"repro.{target}"
+                    )
+        if rel.startswith("core/passes/"):
+            for lineno, target in repro_imports(tree):
+                if target in PASSES_FORBIDDEN:
+                    violations.append(
+                        f"{rel}:{lineno}: core/passes sits between the "
+                        f"physical IR and engine annotation and must not "
+                        f"import repro.{target}"
                     )
         if rel.startswith("cluster/procpool/"):
             for lineno, target in repro_imports(tree):

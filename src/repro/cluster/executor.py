@@ -260,6 +260,26 @@ class SimulatedCluster:
             self._unit_scope.unit = previous
 
     @property
+    def shared_inputs(self) -> frozenset:
+        """Environment keys whose consolidation an earlier consumer already
+        paid for (graph-pass annotation); operators charge blocks sliced
+        from these sources as local reads.  Empty outside a scope."""
+        return getattr(self._unit_scope, "shared_inputs", frozenset())
+
+    @contextmanager
+    def shared_input_scope(self, keys) -> Iterator[None]:
+        """Mark *keys* as already-consolidated for operators executing on
+        this thread (see :func:`repro.core.physical.execute_unit`).
+        Operators capture the set once at ``execute()`` entry — on the
+        driver thread, before task closures fan out to pool threads."""
+        previous = self.shared_inputs
+        self._unit_scope.shared_inputs = frozenset(keys)
+        try:
+            yield
+        finally:
+            self._unit_scope.shared_inputs = previous
+
+    @property
     def total_tasks(self) -> int:
         """``T``: parallel task slots (``N * Tc``)."""
         return self.config.cluster.total_tasks

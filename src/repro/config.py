@@ -25,6 +25,11 @@ EXECUTION_BACKENDS = ("thread", "process")
 #: Valid values for :attr:`EngineConfig.calibration`.
 CALIBRATION_MODES = ("off", "observe", "active")
 
+#: Graph-level optimizer passes (``repro.core.passes``) in pipeline order.
+#: Defined here (not in ``core``) so the config layer can validate the
+#: :attr:`EngineConfig.graph_passes` spec without importing upward.
+GRAPH_PASSES = ("merge_units", "dedup_consolidations")
+
 GBPS = 1e9 / 8  # bytes per second in one gigabit per second
 GFLOPS = 1e9
 
@@ -93,6 +98,26 @@ class ClusterConfig:
         cluster could hold in task memory at once.
         """
         return self.total_tasks * self.task_memory_budget
+
+
+def enabled_graph_passes(spec: str) -> tuple:
+    """Pass names a ``graph_passes`` spec enables, in pipeline order.
+
+    ``"off"`` (or empty) enables none, ``"all"`` enables every pass in
+    :data:`GRAPH_PASSES`, and a comma-separated list enables that subset —
+    always re-ordered to the canonical pipeline order, never the spec's.
+    Unknown names are preserved so ``EngineConfig.__post_init__`` can
+    reject them.
+    """
+    spec = (spec or "").strip()
+    if spec in ("", "off"):
+        return ()
+    if spec == "all":
+        return GRAPH_PASSES
+    requested = {part.strip() for part in spec.split(",") if part.strip()}
+    ordered = tuple(name for name in GRAPH_PASSES if name in requested)
+    unknown = tuple(sorted(requested - set(GRAPH_PASSES)))
+    return ordered + unknown
 
 
 @dataclass(frozen=True)
@@ -171,6 +196,14 @@ class EngineConfig:
     #: Mean abs relative seconds-error above which an ``"active"`` engine
     #: evicts a cached plan and re-plans it with the latest coefficients.
     calibration_replan_threshold: float = 0.5
+    #: Graph-level optimizer passes run over the raw physical plan before
+    #: execution (:mod:`repro.core.passes`).  ``"off"`` (default) skips the
+    #: pipeline entirely — outputs *and* modeled metrics bit-identical to
+    #: the seed.  ``"all"`` runs every registered pass in pipeline order;
+    #: a comma-separated subset of :data:`GRAPH_PASSES` (e.g.
+    #: ``"dedup_consolidations"``) runs just those passes.  Passes never
+    #: change matrix outputs — only modeled cost and unit structure.
+    graph_passes: str = "off"
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -204,6 +237,12 @@ class EngineConfig:
             raise ValueError("calibration_min_samples must be at least 2")
         if self.calibration_replan_threshold <= 0:
             raise ValueError("calibration_replan_threshold must be positive")
+        for name in enabled_graph_passes(self.graph_passes):
+            if name not in GRAPH_PASSES:
+                raise ValueError(
+                    f"graph_passes must be 'off', 'all', or a comma-separated "
+                    f"subset of {GRAPH_PASSES}, got {self.graph_passes!r}"
+                )
 
     def with_cluster(self, **kwargs) -> "EngineConfig":
         """Return a copy with cluster fields replaced (e.g. ``num_nodes=2``)."""
@@ -265,6 +304,15 @@ class ServiceConfig:
     #: beyond it are shed *before* touching the admission queues.  ``None``
     #: defaults to ``2 * max_queue_depth``.
     async_max_inflight: Optional[int] = None
+    #: Cross-query common-subexpression elimination: concurrent queries
+    #: with the same planning signature, DAG fingerprint, and bound-input
+    #: versions share one execution through a service-wide in-flight index
+    #: (:class:`repro.serving.cse.SubplanIndex`).  Waiters adopt the
+    #: owner's (deterministic, hence bit-identical) result.  Off by
+    #: default: with the default, every query executes independently, so
+    #: per-query metric deltas still sum to the shared cluster's totals
+    #: (the seed serving invariant).
+    cross_query_cse: bool = False
 
     def __post_init__(self) -> None:
         if self.max_concurrency <= 0:

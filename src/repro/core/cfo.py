@@ -37,6 +37,7 @@ from repro.core.fused_eval import (
     masked_product,
 )
 from repro.core.optimizer import OptimizerResult, optimize_parameters
+from repro.core.physical import env_key_of
 from repro.core.plan import PartialFusionPlan
 from repro.core.spaces import (
     Axis,
@@ -86,6 +87,9 @@ class CuboidFusedOperator:
         # keeps standalone operator use (tests constructing a CFO directly)
         # working with fresh copies
         self._slices = SliceCache(enabled=False)
+        # env keys whose consolidation an earlier consumer already paid
+        # (graph-pass annotation); captured from the cluster in execute()
+        self._shared_inputs: frozenset = frozenset()
 
     # -- public API -------------------------------------------------------------
 
@@ -96,6 +100,9 @@ class CuboidFusedOperator:
     def execute(self, cluster: SimulatedCluster, env: Env) -> BlockedMatrix:
         """Run the CFO and return the materialized plan output."""
         self._slices = cluster.slice_cache
+        # captured once on the driver thread — task closures run on pool
+        # threads where the cluster's thread-local scope is unset
+        self._shared_inputs = cluster.shared_inputs
         values = self._resolve_frontier(env)
         if self.partitioning.r == 1:
             tiles = self._run_single_pass(cluster, values)
@@ -173,7 +180,7 @@ class CuboidFusedOperator:
                 frontier[edge] = cached
                 continue
             block = self._slices.get(matrix, row_range, col_range)
-            if charge_network:
+            if charge_network and env_key_of(source) not in self._shared_inputs:
                 task.receive(block)
             else:
                 task.receive_local(block)

@@ -29,6 +29,14 @@ from repro.config import EngineConfig
 from repro.core.calibration import KernelCalibration
 from repro.core.plan import PartialFusionPlan
 from repro.core.spaces import SpaceKind, SpaceTree
+from repro.lang.dag import InputNode
+
+
+def _env_key(node):
+    """The runtime environment key of a frontier matrix (mirrors
+    ``repro.core.physical.env_key_of``, duplicated to avoid an import
+    cycle through the optimizer)."""
+    return node.name if isinstance(node, InputNode) else node.node_id
 
 #: Marker cost for an infeasible plan (cannot fit the memory budget).
 INFEASIBLE = float("inf")
@@ -74,9 +82,16 @@ class CostModel:
         self,
         config: EngineConfig,
         calibration: Optional[KernelCalibration] = None,
+        free_sources=None,
     ):
         self.config = config
         self.calibration = calibration
+        #: Environment keys whose consolidation is already paid elsewhere
+        #: (graph-pass sharing): their Eq. 4 traffic is skipped, their
+        #: Eq. 3 memory still charged (the slabs are resident either way).
+        #: Fixed per instance, so the memo never needs it in its keys —
+        #: merge candidates build a fresh model per evaluation.
+        self.free_sources = frozenset(free_sources or ())
         self._memo: dict = {}
         self._pins: dict = {}
         #: Memo telemetry (surfaced through ``OptimizerResult``); purely
@@ -269,8 +284,10 @@ class CostModel:
         for kind, space in tree.spaces.items():
             factor = factors[kind]
             for consumer, index in space.materialized:
-                size = consumer.inputs[index].meta.estimated_bytes
-                total += multiplier * factor * size
+                source = consumer.inputs[index]
+                if self.free_sources and _env_key(source) in self.free_sources:
+                    continue
+                total += multiplier * factor * source.meta.estimated_bytes
             confined = self._confined(kind, pqr)
             for nested in space.nested:
                 total += self._net_tree(

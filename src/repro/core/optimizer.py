@@ -66,6 +66,7 @@ def optimize_parameters(
     tree: Optional[SpaceTree] = None,
     method: SearchMethod = "pruned",
     calibration: Optional[KernelCalibration] = None,
+    free_sources=None,
 ) -> OptimizerResult:
     """Find ``(P*, Q*, R*)`` for *plan*.
 
@@ -77,11 +78,16 @@ def optimize_parameters(
     With *calibration* (fitted coefficients for this plan's kernel class)
     every candidate is priced with the machine's measured effective
     throughputs; the search structure and feasibility are unchanged.
+
+    *free_sources* (environment keys) marks frontier matrices whose
+    consolidation is already paid by another unit — their Eq. 4 traffic
+    is discounted.  Used by the unit-merging graph pass to cost merge
+    candidates; the seed path never passes it.
     """
     if tree is None:
         tree = plan_layout(plan).tree
     extent_i, extent_j, extent_k = tree.mm.mm_dims()
-    model = CostModel(config, calibration=calibration)
+    model = CostModel(config, calibration=calibration, free_sources=free_sources)
     started = time.perf_counter()
 
     if method == "exhaustive":
@@ -101,7 +107,9 @@ def optimize_parameters(
         best = model.evaluate(plan, tree, (extent_i, extent_j, extent_k))
     paper_cost = None
     if calibration is not None:
-        paper_cost = CostModel(config).evaluate(plan, tree, best.pqr)
+        paper_cost = CostModel(
+            config, free_sources=free_sources
+        ).evaluate(plan, tree, best.pqr)
     return OptimizerResult(
         pqr=best.pqr,
         cost=best,

@@ -1,0 +1,73 @@
+"""Graph-level optimizer passes over the physical IR.
+
+:func:`run_graph_passes` is the pipeline entry point the engine calls
+between :func:`~repro.core.physical.lower_plan` and the plan cache: it
+resolves the ``EngineConfig.graph_passes`` spec to an ordered list of
+registered passes, runs each, threads the accumulated
+:class:`~repro.core.passes.base.PassReport` objects onto the resulting
+plan (EXPLAIN renders them), and opens one telemetry span per pass when a
+tracer is attached.
+
+Registering a new pass (DESIGN.md §15):
+
+1. subclass :class:`~repro.core.passes.base.GraphPass` in a new module
+   under ``repro/core/passes/``;
+2. add its ``name`` to :data:`repro.config.GRAPH_PASSES` at its pipeline
+   position (the config layer validates specs against that tuple, and
+   canonical order is defined there — never by the user's spec string);
+3. add the class to :data:`REGISTRY` below.
+
+Passes must keep matrix outputs bit-identical — they may only change unit
+structure, charging annotations, and modeled cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import enabled_graph_passes
+from repro.core.passes.base import GraphPass, PassReport
+from repro.core.passes.dedup_consolidations import DedupConsolidationsPass
+from repro.core.passes.merge_units import MergeUnitsPass
+from repro.core.physical import PhysicalPlan
+
+#: name -> pass class, every registered rewrite.
+REGISTRY = {
+    MergeUnitsPass.name: MergeUnitsPass,
+    DedupConsolidationsPass.name: DedupConsolidationsPass,
+}
+
+
+def run_graph_passes(
+    engine, physical: PhysicalPlan, tracer: Optional[object] = None
+) -> PhysicalPlan:
+    """Run the engine's enabled passes over *physical*, in canonical order.
+
+    With ``graph_passes="off"`` this returns *physical* untouched — not a
+    copy — so the seed path allocates and computes nothing extra.
+    """
+    names = enabled_graph_passes(engine.config.graph_passes)
+    if not names:
+        return physical
+    reports = list(physical.pass_reports)
+    for name in names:
+        graph_pass = REGISTRY[name]()
+        if tracer is not None:
+            with tracer.span(f"pass:{name}", "planning") as span:
+                physical, report = graph_pass.run(engine, physical)
+                span.attrs.update(report.to_dict())
+        else:
+            physical, report = graph_pass.run(engine, physical)
+        reports.append(report)
+    physical.pass_reports = tuple(reports)
+    return physical
+
+
+__all__ = [
+    "GraphPass",
+    "PassReport",
+    "REGISTRY",
+    "run_graph_passes",
+    "MergeUnitsPass",
+    "DedupConsolidationsPass",
+]

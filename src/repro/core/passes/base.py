@@ -1,0 +1,101 @@
+"""Pass pipeline scaffolding: the :class:`GraphPass` contract + reports.
+
+A graph pass is a rewrite over the lowered :class:`~repro.core.physical.
+PhysicalPlan` — it runs *after* the engine's per-unit annotation and
+*before* the plan is cached or executed, and it must never change matrix
+outputs (only unit structure and modeled cost).  Passes are pure plan ->
+plan functions that also return a :class:`PassReport`, which EXPLAIN and
+the per-pass telemetry spans surface.
+
+Ordering contract (see DESIGN.md §15): passes run in the canonical order
+of :data:`repro.config.GRAPH_PASSES`, regardless of how the
+``EngineConfig.graph_passes`` spec lists them.  Structural passes (unit
+merging) run before annotation passes (consolidation dedup) so the dedup
+walk sees the final unit order and never marks a key the merge pass
+already shares intra-group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.physical import PhysicalPlan
+from repro.utils.formatting import format_bytes
+
+
+@dataclass
+class PassReport:
+    """What one pass did to one plan — rendered at the end of EXPLAIN."""
+
+    name: str
+    units_before: int = 0
+    units_after: int = 0
+    #: Merged groups formed (merge pass only).
+    merged_groups: int = 0
+    #: Consolidations rewritten to local reads (both passes).
+    shared_keys: int = 0
+    #: Modeled network bytes the rewrite saves (planner estimate).
+    net_bytes_saved: float = 0.0
+    #: Modeled seconds the rewrite saves (planner estimate).
+    seconds_saved: float = 0.0
+    #: Merged units whose re-run cuboid search would have picked a
+    #: different ``(P, Q, R)`` — execution pins the original parameters
+    #: (bit-identity), so this is surfaced as a counter instead.
+    pqr_changes: int = 0
+    #: Wall-clock the pass itself took (planning overhead, not modeled).
+    elapsed_seconds: float = 0.0
+
+    @property
+    def fired(self) -> bool:
+        """Whether the pass changed the plan at all."""
+        return self.units_after < self.units_before or self.shared_keys > 0
+
+    def __str__(self) -> str:
+        parts = [f"{self.name}:"]
+        if not self.fired:
+            parts.append("no-op")
+            return " ".join(parts)
+        if self.units_after != self.units_before:
+            parts.append(
+                f"units {self.units_before}->{self.units_after} "
+                f"({self.merged_groups} group(s))"
+            )
+        if self.shared_keys:
+            parts.append(f"shared {self.shared_keys} consolidation(s)")
+        if self.net_bytes_saved > 0:
+            parts.append(f"saved net={format_bytes(int(self.net_bytes_saved))}")
+        if self.seconds_saved > 0:
+            parts.append(f"sec={self.seconds_saved:.4g}")
+        if self.pqr_changes:
+            parts.append(f"pqr_would_change={self.pqr_changes}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "fired": self.fired,
+            "units_before": self.units_before,
+            "units_after": self.units_after,
+            "merged_groups": self.merged_groups,
+            "shared_keys": self.shared_keys,
+            "net_bytes_saved": self.net_bytes_saved,
+            "seconds_saved": self.seconds_saved,
+            "pqr_changes": self.pqr_changes,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+class GraphPass:
+    """One rewrite over the physical IR.
+
+    Subclasses set :attr:`name` (the registry key, also the
+    ``EngineConfig.graph_passes`` token) and implement :meth:`run`.
+    *engine* is the engine that lowered the plan — passes use its config,
+    optimizer method, and calibration hooks, never its execution state.
+    """
+
+    name = "graph-pass"
+
+    def run(self, engine, physical: PhysicalPlan) -> Tuple[PhysicalPlan, PassReport]:
+        raise NotImplementedError

@@ -1,0 +1,347 @@
+"""Unit merging: fuse independent units that share consolidation inputs.
+
+Two units with no dependency path between them that consolidate the same
+materialized matrix each pay its consolidation traffic (Eq. 4) — the
+consolidation phases are identical work.  Merging them into one scheduler
+slot lets the second member read the shared slabs as local blocks, which
+the (calibration-aware) :class:`~repro.core.cost.CostModel` prices via
+``free_sources``.  A merge only happens when the modeled merged cost is
+strictly below the members' separate costs.
+
+Bit-identity contract: a merged unit executes its members back-to-back in
+original unit order, each with its **original** ``(P, Q, R)`` and
+annotations — changing ``R`` would change the k-chunk partial-sum order
+and changing ``P, Q`` the sorted-``(p, q)`` combine order, either of which
+perturbs floating-point results.  The cuboid search *is* re-run on the
+merged unit (with the shared inputs free) as the paper's plan-generation
+story asks, but its result only informs the merge decision; when it would
+pick different parameters the pass counts it (``pqr_changes``) instead of
+adopting them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cost import CostModel
+from repro.core.optimizer import optimize_parameters
+from repro.core.physical import (
+    PhysicalPlan,
+    UnitEstimate,
+    UnitOp,
+    env_key_of,
+    recompute_releases,
+)
+from repro.core.spaces import plan_layout
+from repro.lang.dag import InputNode
+
+from repro.core.passes.base import GraphPass, PassReport
+
+
+def _price(config, calibration, net: float, flops: float) -> float:
+    """Seconds for *net* bytes + *flops* — Eq. 2 or the fitted throughputs
+    (mirrors :meth:`CostModel._price` for units without a space tree)."""
+    if calibration is not None:
+        return calibration.predict_seconds(net, flops)
+    cluster = config.cluster
+    net_time = net / (cluster.num_nodes * cluster.network_bandwidth)
+    com_time = flops / (cluster.num_nodes * cluster.compute_bandwidth)
+    if config.overlap_comm_compute:
+        return max(net_time, com_time)
+    return net_time + com_time
+
+
+def _group_topo(ops: Sequence[UnitOp], group_of: Dict[int, int]) -> Optional[List[int]]:
+    """Kahn order of the quotient graph's group leaders (deps first),
+    min-original-index tie-break; ``None`` when the grouping is cyclic."""
+    edges: Dict[int, Set[int]] = {}
+    indegree: Dict[int, int] = {leader: 0 for leader in set(group_of.values())}
+    for op in ops:
+        group = group_of[op.index]
+        for dep in op.deps:
+            dep_group = group_of[dep]
+            if dep_group != group and group not in edges.setdefault(dep_group, set()):
+                edges[dep_group].add(group)
+                indegree[group] += 1
+    ready = sorted(leader for leader, deg in indegree.items() if deg == 0)
+    order: List[int] = []
+    while ready:
+        leader = ready.pop(0)
+        order.append(leader)
+        for succ in sorted(edges.get(leader, ())):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                # keep the ready set sorted so the final order is stable
+                ready.append(succ)
+                ready.sort()
+    if len(order) != len(indegree):
+        return None
+    return order
+
+
+class MergeUnitsPass(GraphPass):
+    """Fuse independent, input-sharing units when the cost model agrees."""
+
+    name = "merge_units"
+
+    def run(self, engine, physical: PhysicalPlan) -> Tuple[PhysicalPlan, PassReport]:
+        started = time.perf_counter()
+        ops = physical.ops
+        report = PassReport(
+            name=self.name, units_before=len(ops), units_after=len(ops)
+        )
+        if len(ops) < 2:
+            report.elapsed_seconds = time.perf_counter() - started
+            return physical, report
+
+        # shared consumed keys with nonzero modeled size -> candidate pairs
+        key_bytes: Dict[object, float] = {}
+        key_consumers: Dict[object, Set[int]] = {}
+        for op in ops:
+            if op.unit is None:
+                continue
+            for dep in op.unit.dependencies():
+                if not (isinstance(dep, InputNode) or dep.is_operator):
+                    continue
+                key = env_key_of(dep)
+                key_bytes[key] = max(
+                    key_bytes.get(key, 0.0), float(dep.meta.estimated_bytes)
+                )
+                key_consumers.setdefault(key, set()).add(op.index)
+
+        pair_shared: Dict[Tuple[int, int], float] = {}
+        for key, consumers in key_consumers.items():
+            size = key_bytes.get(key, 0.0)
+            if size <= 0 or len(consumers) < 2:
+                continue
+            indices = sorted(consumers)
+            for a in range(len(indices)):
+                for b in range(a + 1, len(indices)):
+                    pair = (indices[a], indices[b])
+                    pair_shared[pair] = pair_shared.get(pair, 0.0) + size
+        if not pair_shared:
+            report.elapsed_seconds = time.perf_counter() - started
+            return physical, report
+
+        # greedy deterministic union: largest shared bytes first, then the
+        # pair's indices; a union is only kept when the quotient graph
+        # stays acyclic AND the modeled merged cost is strictly cheaper
+        group_of = {op.index: op.index for op in ops}
+        members: Dict[int, List[int]] = {op.index: [op.index] for op in ops}
+        estimates: Dict[FrozenSet[int], Optional[Tuple[float, float, float, int]]] = {}
+
+        def group_estimate(group: Sequence[int]):
+            """(net, flops, seconds, pqr_changes) of the group executing
+            as one unit with intra-group consolidation sharing; ``None``
+            when any member cannot be costed (never merge blindly)."""
+            cache_key = frozenset(group)
+            if cache_key in estimates:
+                return estimates[cache_key]
+            seen: Set[object] = set()
+            total_net = total_flops = total_sec = 0.0
+            changes = 0
+            result = None
+            for index in sorted(group):
+                member = self._member_estimate(
+                    engine, ops[index], seen & set(ops[index].consumes)
+                )
+                if member is None:
+                    break
+                net, flops, seconds, changed = member
+                total_net += net
+                total_flops += flops
+                total_sec += seconds
+                changes += int(changed)
+                seen |= set(ops[index].consumes)
+            else:
+                result = (total_net, total_flops, total_sec, changes)
+            estimates[cache_key] = result
+            return result
+
+        order = sorted(pair_shared.items(), key=lambda kv: (-kv[1], kv[0]))
+        merged_any = False
+        for (i, j), _shared in order:
+            leader_i, leader_j = group_of[i], group_of[j]
+            if leader_i == leader_j:
+                continue
+            # direct dependency edges between the groups make the members
+            # ordered, not independent — the quotient-topo check cannot see
+            # them (intra-group edges vanish in the quotient), so reject here
+            set_i, set_j = set(members[leader_i]), set(members[leader_j])
+            if any(d in set_i for m in set_j for d in ops[m].deps) or any(
+                d in set_j for m in set_i for d in ops[m].deps
+            ):
+                continue
+            keep, drop = sorted((leader_i, leader_j))
+            trial = dict(group_of)
+            for index in members[drop]:
+                trial[index] = keep
+            if _group_topo(ops, trial) is None:
+                continue  # the union would create a quotient cycle
+            separate_i = group_estimate(members[leader_i])
+            separate_j = group_estimate(members[leader_j])
+            combined = group_estimate(members[leader_i] + members[leader_j])
+            if separate_i is None or separate_j is None or combined is None:
+                continue
+            if not combined[2] < separate_i[2] + separate_j[2]:
+                continue
+            group_of = trial
+            members[keep] = sorted(members[keep] + members[drop])
+            del members[drop]
+            merged_any = True
+
+        if not merged_any:
+            report.elapsed_seconds = time.perf_counter() - started
+            return physical, report
+
+        # rebuild: topo-order the quotient graph, renumber, remap deps,
+        # annotate intra-group sharing, recompute lifetimes
+        topo = _group_topo(ops, group_of)
+        assert topo is not None  # every committed union preserved acyclicity
+        old_to_new = {}
+        for new_index, leader in enumerate(topo):
+            for index in members[leader]:
+                old_to_new[index] = new_index
+
+        new_ops: List[UnitOp] = []
+        for new_index, leader in enumerate(topo):
+            group = members[leader]
+            if len(group) == 1:
+                op = ops[group[0]]
+                new_ops.append(replace(
+                    op,
+                    index=new_index,
+                    deps=tuple(sorted({old_to_new[d] for d in op.deps})),
+                    sources=op.source_indices,
+                ))
+                continue
+            merged_groups_est = group_estimate(group)
+            separate_sec = 0.0
+            separate_net = 0.0
+            for index in group:
+                single = group_estimate([index])
+                separate_net += single[0]
+                separate_sec += single[2]
+            seen: Set[object] = set()
+            member_ops: List[UnitOp] = []
+            for index in group:
+                op = ops[index]
+                free = tuple(k for k in op.consumes if k in seen)
+                member_ops.append(replace(
+                    op,
+                    releases=(),
+                    sources=op.source_indices,
+                    shared_inputs=free,
+                ))
+                seen |= set(op.consumes)
+            deps = tuple(sorted({
+                old_to_new[d]
+                for index in group
+                for d in ops[index].deps
+            }))
+            mems = [
+                float(ops[index].estimate.mem_bytes_per_task)
+                for index in group
+                if ops[index].estimate is not None
+                and ops[index].estimate.mem_bytes_per_task is not None
+            ]
+            net, flops, seconds, changes = merged_groups_est
+            report.merged_groups += 1
+            report.shared_keys += sum(len(m.shared_inputs) for m in member_ops)
+            report.net_bytes_saved += max(0.0, separate_net - net)
+            report.seconds_saved += max(0.0, separate_sec - seconds)
+            report.pqr_changes += changes
+            new_ops.append(UnitOp(
+                index=new_index,
+                unit=None,
+                kind="merged",
+                deps=deps,
+                outputs=tuple(
+                    node for index in group for node in ops[index].outputs
+                ),
+                releases=(),
+                consumes=tuple(dict.fromkeys(
+                    key for index in group for key in ops[index].consumes
+                )),
+                estimate=UnitEstimate(
+                    net_bytes=net,
+                    flops=flops,
+                    seconds=seconds,
+                    mem_bytes_per_task=max(mems) if len(mems) == len(group) else None,
+                ),
+                name="merged(" + ",".join(str(index) for index in group) + ")",
+                members=tuple(member_ops),
+                sources=tuple(group),
+            ))
+
+        new_ops = recompute_releases(physical.dag, new_ops)
+        rebuilt = PhysicalPlan(
+            physical.dag,
+            new_ops,
+            fusion_plan=physical.fusion_plan,
+            engine_name=physical.engine_name,
+        )
+        rebuilt.pass_reports = physical.pass_reports
+        report.units_after = len(new_ops)
+        report.elapsed_seconds = time.perf_counter() - started
+        return rebuilt, report
+
+    @staticmethod
+    def _member_estimate(engine, op: UnitOp, free: Set[object]):
+        """(net, flops, seconds, pqr_changed) of *op* with the *free*
+        consolidations discounted; ``None`` when the unit cannot be costed
+        or the discounted plan would be memory-infeasible."""
+        est = op.estimate
+        if est is None or op.unit is None:
+            return None
+        plan = op.unit.plan
+        if not free:
+            net, flops = float(est.net_bytes), float(est.flops)
+            seconds = est.seconds
+            if seconds is None:
+                seconds = _price(
+                    engine.config,
+                    engine.calibration_for(op.kind, plan),
+                    net, flops,
+                )
+            return net, flops, float(seconds), False
+        if op.pqr is not None and getattr(plan, "contains_matmul", False):
+            calibration = engine.calibration_for("cfo", plan)
+            searched = optimize_parameters(
+                plan,
+                engine.config,
+                method=getattr(engine, "optimizer_method", "pruned"),
+                calibration=calibration,
+                free_sources=free,
+            )
+            changed = searched.pqr != op.pqr
+            if changed:
+                # execution pins the original parameters (bit-identity),
+                # so the honest merged estimate prices those, discounted
+                tree = plan_layout(plan).tree
+                model = CostModel(
+                    engine.config, calibration=calibration, free_sources=free
+                )
+                cost = model.evaluate(plan, tree, op.pqr)
+            else:
+                cost = searched.cost
+            if not cost.feasible:
+                return None
+            return (
+                float(cost.net_bytes), float(cost.com_flops),
+                float(cost.cost_seconds), changed,
+            )
+        free_bytes = 0.0
+        for dep in op.unit.dependencies():
+            if not (isinstance(dep, InputNode) or dep.is_operator):
+                continue
+            if env_key_of(dep) in free:
+                free_bytes += float(dep.meta.estimated_bytes)
+        net = max(0.0, float(est.net_bytes) - free_bytes)
+        flops = float(est.flops)
+        seconds = _price(
+            engine.config, engine.calibration_for(op.kind, plan), net, flops
+        )
+        return net, flops, seconds, False

@@ -40,7 +40,7 @@ stage records differ.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.parallel import parallel_map
@@ -108,6 +108,22 @@ class UnitOp:
     estimate: Optional[UnitEstimate] = None
     #: Display label; defaults to the wrapped unit's plan label.
     name: str = ""
+    #: For ``kind="merged"`` ops: the original units executed back-to-back
+    #: under this op's identity (one stage-attribution index, one scheduler
+    #: slot, shared lifetimes).  Members are mutually independent — the
+    #: merge pass only fuses units with no path between them — and keep
+    #: their original annotations (``pqr``, estimates), so execution stays
+    #: bit-identical to the unmerged plan.
+    members: Tuple["UnitOp", ...] = ()
+    #: Provenance: original lowering indices this op descends from.  Empty
+    #: means the op is untouched by any pass (it is its own source).
+    sources: Tuple[int, ...] = ()
+    #: Environment keys whose consolidation an *earlier* consumer (in final
+    #: plan order) already paid for; the runtime charges these as local
+    #: reads (memory only, no network).  Annotated statically at plan time
+    #: so modeled totals are identical under sequential and wave
+    #: scheduling regardless of actual interleaving.
+    shared_inputs: Tuple[EnvKey, ...] = ()
 
     def label(self) -> str:
         if self.name:
@@ -117,6 +133,11 @@ class UnitOp:
     @property
     def is_fused(self) -> bool:
         return self.unit is not None and self.unit.is_fused
+
+    @property
+    def source_indices(self) -> Tuple[int, ...]:
+        """Original lowering indices behind this op (itself when untouched)."""
+        return self.sources if self.sources else (self.index,)
 
 
 def estimate_from_cost(cost, paper_seconds: Optional[float] = None) -> UnitEstimate:
@@ -155,6 +176,10 @@ class PhysicalPlan:
         self.ops: Tuple[UnitOp, ...] = tuple(ops)
         self.fusion_plan = fusion_plan
         self.engine_name = engine_name
+        #: Reports of the graph passes that produced this plan (set by
+        #: :func:`repro.core.passes.run_graph_passes`); empty for a raw
+        #: lowering.  Rendered at the end of EXPLAIN.
+        self.pass_reports: Tuple[object, ...] = ()
         for op in self.ops:
             for dep in op.deps:
                 if not 0 <= dep < op.index:
@@ -213,11 +238,21 @@ class PhysicalPlan:
             lines.append(f"wave {depth}:")
             for op in wave:
                 lines.append("  " + self._render_op(op))
+                for member in op.members:
+                    lines.append("    + " + self._render_op(member))
+        if self.pass_reports:
+            lines.append("passes:")
+            for report in self.pass_reports:
+                lines.append("  " + str(report))
         return "\n".join(lines)
 
     @staticmethod
     def _render_op(op: UnitOp) -> str:
         parts = [f"[{op.index}] {op.kind:<10} {op.label()}"]
+        if op.members:
+            parts.append(
+                "merges=" + ",".join(str(s) for s in op.source_indices)
+            )
         if op.pqr is not None:
             parts.append(f"pqr={op.pqr}")
         est = op.estimate
@@ -238,7 +273,151 @@ class PhysicalPlan:
             parts.append(
                 "releases=" + ",".join(_release_label(k) for k in op.releases)
             )
+        if op.shared_inputs:
+            parts.append(
+                "shared=" + ",".join(_release_label(k) for k in op.shared_inputs)
+            )
         return "  ".join(parts)
+
+    # -- visualization -----------------------------------------------------
+
+    def visualize(self, fmt: str = "mermaid") -> str:
+        """The unit graph as Mermaid (default) or Graphviz ``dot`` text.
+
+        Units render as nodes — merged units as subgraphs containing their
+        member units — inputs as distinct shapes, and every consolidation
+        edge is labeled with the modeled traffic of the consumed matrix.
+        Edges whose consolidation a graph pass deduplicated render dashed
+        with a ``shared`` label; merged units are highlighted.
+        """
+        if fmt not in ("mermaid", "dot", "graphviz"):
+            raise ValueError(
+                f"visualize format must be 'mermaid' or 'dot', got {fmt!r}"
+            )
+        producer: Dict[EnvKey, str] = {}
+        for op in self.ops:
+            if op.members:
+                for member in op.members:
+                    for node in member.outputs:
+                        producer[env_key_of(node)] = f"u{op.index}m{member.index}"
+            else:
+                for node in op.outputs:
+                    producer[env_key_of(node)] = f"u{op.index}"
+
+        def input_id(key: EnvKey) -> str:
+            safe = "".join(c if c.isalnum() else "_" for c in str(key))
+            return f"in_{safe}"
+
+        inputs: Dict[str, str] = {}
+        edges: Dict[Tuple[str, str], Tuple[str, bool]] = {}
+
+        def collect(op: UnitOp, target: str) -> None:
+            if op.unit is None:
+                return
+            shared_keys = set(op.shared_inputs)
+            for dep in op.unit.dependencies():
+                if not (isinstance(dep, InputNode) or dep.is_operator):
+                    continue
+                key = env_key_of(dep)
+                traffic = format_bytes(int(dep.meta.estimated_bytes))
+                if isinstance(key, str):
+                    src = input_id(key)
+                    inputs.setdefault(src, str(key))
+                elif key in producer:
+                    src = producer[key]
+                else:
+                    continue
+                shared = key in shared_keys
+                label = f"shared {traffic}" if shared else traffic
+                edges.setdefault((src, target), (label, shared))
+
+        for op in self.ops:
+            if op.members:
+                for member in op.members:
+                    collect(member, f"u{op.index}m{member.index}")
+            else:
+                collect(op, f"u{op.index}")
+
+        if fmt == "mermaid":
+            return self._render_mermaid(inputs, edges)
+        return self._render_dot(inputs, edges)
+
+    @staticmethod
+    def _viz_label(text: str) -> str:
+        return text.replace('"', "'")
+
+    def _render_mermaid(self, inputs, edges) -> str:
+        lines = ["flowchart TD"]
+        for src, label in sorted(inputs.items()):
+            lines.append(f'    {src}(["{self._viz_label(label)}"])')
+        for op in self.ops:
+            if op.members:
+                title = self._viz_label(
+                    f"[{op.index}] merged("
+                    + ",".join(str(s) for s in op.source_indices) + ")"
+                )
+                lines.append(f'    subgraph u{op.index} ["{title}"]')
+                for member in op.members:
+                    mlabel = self._viz_label(
+                        f"[{member.index}] {member.kind} {member.label()}"
+                    )
+                    lines.append(f'        u{op.index}m{member.index}["{mlabel}"]')
+                lines.append("    end")
+            else:
+                label = self._viz_label(f"[{op.index}] {op.kind} {op.label()}")
+                lines.append(f'    u{op.index}["{label}"]')
+        for (src, dst), (label, shared) in sorted(edges.items()):
+            arrow = f'-. "{label}" .->' if shared else f'-- "{label}" -->'
+            lines.append(f"    {src} {arrow} {dst}")
+        merged = [f"u{op.index}" for op in self.ops if op.members]
+        if merged:
+            lines.append(
+                "    classDef merged fill:#fdf6e3,stroke:#b58900,"
+                "stroke-width:2px"
+            )
+            lines.append("    class " + ",".join(merged) + " merged")
+        return "\n".join(lines)
+
+    def _render_dot(self, inputs, edges) -> str:
+        lines = [
+            "digraph physical_plan {",
+            "    rankdir=TB;",
+            '    node [shape=box, fontname="monospace"];',
+        ]
+        for src, label in sorted(inputs.items()):
+            lines.append(
+                f'    {src} [shape=ellipse, label="{self._viz_label(label)}"];'
+            )
+        for op in self.ops:
+            if op.members:
+                title = self._viz_label(
+                    f"[{op.index}] merged("
+                    + ",".join(str(s) for s in op.source_indices) + ")"
+                )
+                lines.append(f"    subgraph cluster_u{op.index} {{")
+                lines.append(
+                    f'        label="{title}"; style=filled; '
+                    'color="#b58900"; fillcolor="#fdf6e3";'
+                )
+                for member in op.members:
+                    mlabel = self._viz_label(
+                        f"[{member.index}] {member.kind} {member.label()}"
+                    )
+                    lines.append(
+                        f'        u{op.index}m{member.index} '
+                        f'[label="{mlabel}"];'
+                    )
+                lines.append("    }")
+            else:
+                label = self._viz_label(f"[{op.index}] {op.kind} {op.label()}")
+                lines.append(f'    u{op.index} [label="{label}"];')
+        for (src, dst), (label, shared) in sorted(edges.items()):
+            style = ', style=dashed, color="#b58900"' if shared else ""
+            lines.append(
+                f'    {src} -> {dst} [label="{self._viz_label(label)}"{style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -257,15 +436,19 @@ def _release_label(key: EnvKey) -> str:
     return f"#{key}" if isinstance(key, int) else str(key)
 
 
+def env_key_of(node: Node) -> EnvKey:
+    """The environment key a node's materialization lives under: input
+    leaves by name, everything else by ``node_id``."""
+    return node.name if isinstance(node, InputNode) else node.node_id
+
+
 def _consumed_keys(unit: PlanUnit) -> List[EnvKey]:
     """Environment keys a unit reads: operator dependencies by node id,
     input leaves by name."""
     keys: List[EnvKey] = []
     for dep in unit.dependencies():
-        if isinstance(dep, InputNode):
-            keys.append(dep.name)
-        elif dep.is_operator:
-            keys.append(dep.node_id)
+        if isinstance(dep, InputNode) or dep.is_operator:
+            keys.append(env_key_of(dep))
     return keys
 
 
@@ -278,6 +461,60 @@ def _root_keys(dag: DAG) -> set:
         else:
             keys.add(root.node_id)
     return keys
+
+
+def recompute_releases(dag: DAG, ops: Sequence[UnitOp]) -> List[UnitOp]:
+    """Re-derive every op's ``releases`` from the final op order.
+
+    Graph passes that move, merge, or renumber units invalidate the
+    last-consumer lifetimes :func:`lower_plan` computed; this recomputes
+    them with the same rules (last consumer in final order releases the
+    key, keys a DAG root still needs are never released).
+    """
+    last_consumer: Dict[EnvKey, int] = {}
+    for op in ops:
+        for key in op.consumes:
+            last_consumer[key] = op.index
+    keep_alive = _root_keys(dag)
+    releases_at: Dict[int, List[EnvKey]] = {}
+    for key, index in last_consumer.items():
+        if key not in keep_alive:
+            releases_at.setdefault(index, []).append(key)
+    return [
+        replace(op, releases=tuple(sorted(releases_at.get(op.index, ()), key=str)))
+        for op in ops
+    ]
+
+
+def execute_unit(engine, op: UnitOp, cluster, env: Mapping[EnvKey, object]):
+    """Run one (possibly merged, possibly input-sharing) unit op.
+
+    The single execution entry point for both the in-process scheduler
+    (:func:`run_physical_plan`) and the process-backend worker
+    (:func:`repro.core.procexec.execute_unit_task`), so graph-pass
+    semantics behave identically on every backend:
+
+    * a ``shared_inputs`` annotation makes operators charge those
+      consolidations as local reads (the earlier consumer already paid);
+    * a merged op executes its members back-to-back — in original unit
+      order, each with its original annotations, so every block value and
+      per-member stage total is bit-identical to the unmerged plan — and
+      returns a dict of all member outputs.
+    """
+    if op.members:
+        results: Dict[Node, object] = {}
+        for member in op.members:
+            with cluster.shared_input_scope(member.shared_inputs):
+                value = engine.run_unit(member, cluster, env)
+            if isinstance(value, dict):
+                results.update(value)
+            else:
+                results[member.unit.output] = value
+        return results
+    if op.shared_inputs:
+        with cluster.shared_input_scope(op.shared_inputs):
+            return engine.run_unit(op, cluster, env)
+    return engine.run_unit(op, cluster, env)
 
 
 def lower_plan(
@@ -369,9 +606,9 @@ def run_physical_plan(
     def run_op(op: UnitOp):
         with cluster.unit_scope(op.index):
             if unit_observer is None:
-                return engine.run_unit(op, cluster, env)
+                return execute_unit(engine, op, cluster, env)
             wall_start = time.perf_counter()
-            result = engine.run_unit(op, cluster, env)
+            result = execute_unit(engine, op, cluster, env)
             unit_observer(op, wall_start, time.perf_counter())
             return result
 

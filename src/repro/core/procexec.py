@@ -147,8 +147,12 @@ def execute_unit_task(task: UnitTask) -> UnitOutcome:
             closers.append(close)
         op = task.op
         try:
+            # the shared entry point honours merged units and shared-input
+            # charging annotations exactly like the in-process scheduler
+            from repro.core.physical import execute_unit
+
             with cluster.unit_scope(op.index):
-                result = engine.run_unit(op, cluster, env)
+                result = execute_unit(engine, op, cluster, env)
             if isinstance(result, dict):
                 outcome.output = {
                     node.node_id: write_matrix(matrix, task.output_dir)

@@ -48,6 +48,7 @@ from repro.core.physical import (
     lower_plan,
     run_physical_plan,
 )
+from repro.core.passes import run_graph_passes
 from repro.core.plan import FusionPlan, MultiAggPlan, PlanUnit
 from repro.core.plan_cache import PlanCache, PlanCacheEntry, dag_fingerprint
 from repro.errors import PlanError
@@ -317,6 +318,7 @@ class Engine(ABC):
             config.overlap_comm_compute,
             config.sparse_threshold,
             config.calibration,
+            config.graph_passes,
         )
 
     def planning_attrs(self) -> Dict[str, Any]:
@@ -331,7 +333,7 @@ class Engine(ABC):
     # -- planning / lowering ----------------------------------------------------
 
     def _plan_physical(
-        self, dag: DAG
+        self, dag: DAG, tracer=None
     ) -> tuple[DAG, PhysicalPlan, bool, Optional[tuple]]:
         """Plan + lower *dag*, via the plan cache.
 
@@ -341,6 +343,13 @@ class Engine(ABC):
         name, which the fingerprint guarantees to match).  The key lets the
         calibration feedback loop find (and possibly evict) the entry this
         query executed.
+
+        Lowering yields the *raw* plan; the graph-pass pipeline
+        (:func:`repro.core.passes.run_graph_passes`) rewrites it before
+        anything caches or runs it, so the cache always stores the
+        *optimized* plan (the pass spec is part of the planning signature,
+        so toggling passes can never reuse the other mode's entry).
+        *tracer* rides along so each pass gets its own planning span.
         """
         cache_key = None
         if self.plan_cache.enabled:
@@ -355,12 +364,15 @@ class Engine(ABC):
             self.annotate_unit,
             engine_name=self.name,
         )
+        physical = run_graph_passes(self, physical, tracer=tracer)
         if cache_key is not None:
-            hints = {
-                op.index: op.optimizer_result
-                for op in physical.ops
-                if op.optimizer_result is not None
-            }
+            # hints stay keyed by *raw* lowering indices (merged members
+            # keep theirs), matching how lower_plan consumes them
+            hints = {}
+            for op in physical.ops:
+                for source in (op.members if op.members else (op,)):
+                    if source.optimizer_result is not None:
+                        hints[source.index] = source.optimizer_result
             self.plan_cache.put(
                 cache_key,
                 PlanCacheEntry(
@@ -478,7 +490,9 @@ class Engine(ABC):
                 tracer.span("plan", "planning")
                 if tracer else nullcontext()
             ) as plan_span:
-                dag, physical, cache_hit, cache_key = self._plan_physical(dag)
+                dag, physical, cache_hit, cache_key = self._plan_physical(
+                    dag, tracer=tracer
+                )
             if self.plan_cache.enabled:
                 cluster.metrics.bump(
                     "plan_cache_hits" if cache_hit else "plan_cache_misses"
@@ -608,10 +622,21 @@ class Engine(ABC):
             totals = per_unit.get(op.index)
             if totals is None:
                 continue
-            bucket = (
-                self.plan_sparsity_bucket(op.unit.plan)
-                if op.unit is not None else "dense"
-            )
+            if op.unit is not None:
+                bucket = self.plan_sparsity_bucket(op.unit.plan)
+            elif op.members:
+                # merged unit: bucket by the sparsest member frontier, the
+                # same rule plan_sparsity_bucket applies to a single plan
+                densities = [
+                    node.meta.density
+                    for member in op.members
+                    if member.unit is not None
+                    for node in member.unit.plan.frontier()
+                    if node.meta.density is not None
+                ]
+                bucket = sparsity_bucket(min(densities) if densities else None)
+            else:
+                bucket = "dense"
             predicted = (
                 op.estimate.seconds if op.estimate is not None else None
             )
@@ -674,6 +699,7 @@ class Engine(ABC):
                 kind=op.kind,
                 label=op.label(),
                 pqr=op.pqr,
+                sources=op.source_indices,
                 predicted_seconds=(
                     est.seconds if est is not None else None
                 ),
@@ -781,9 +807,10 @@ def _optimizer_counters(physical: PhysicalPlan) -> Dict[str, int]:
     counters.  Empty for plans that ran no parameter search.
     """
     results = [
-        op.optimizer_result
+        source.optimizer_result
         for op in physical.ops
-        if op.optimizer_result is not None
+        for source in (op.members if op.members else (op,))
+        if source.optimizer_result is not None
     ]
     if not results:
         return {}
@@ -823,6 +850,8 @@ def _attach_unit_spans(
         )
         if op.pqr is not None:
             unit_span.attrs["pqr"] = op.pqr
+        if op.members:
+            unit_span.attrs["sources"] = list(op.source_indices)
         wall = unit_walls.get(op.index)
         if wall is not None:
             unit_span.wall_start, unit_span.wall_end = wall

@@ -58,6 +58,11 @@ class UnitProfile:
     kind: str
     label: str
     pqr: Optional[Tuple[int, int, int]] = None
+    #: Raw-lowering unit indices this unit descends from.  ``(index,)`` (or
+    #: empty) for untouched units; a merged unit lists every source unit so
+    #: profiles and calibration observations stay joinable across the
+    #: graph-pass rewrite instead of dangling on a renumbered id.
+    sources: Tuple[int, ...] = ()
     #: Planner-side estimates (None where the unit ran no parameter search).
     predicted_seconds: Optional[float] = None
     predicted_net_bytes: Optional[float] = None
@@ -92,6 +97,7 @@ class UnitProfile:
             "kind": self.kind,
             "label": self.label,
             "pqr": list(self.pqr) if self.pqr is not None else None,
+            "sources": list(self.sources),
             "predicted_seconds": self.predicted_seconds,
             "predicted_net_bytes": self.predicted_net_bytes,
             "predicted_flops": self.predicted_flops,
@@ -255,8 +261,13 @@ def _fmt_error(error: Optional[float]) -> str:
 def _render_table(units: Sequence[UnitProfile]) -> list[str]:
     rows = [list(_COLUMNS)]
     for unit in units:
+        merged = unit.sources and unit.sources != (unit.index,)
+        unit_cell = (
+            f"[{unit.index}<-{','.join(str(s) for s in unit.sources)}]"
+            if merged else f"[{unit.index}]"
+        )
         rows.append([
-            f"[{unit.index}]",
+            unit_cell,
             unit.kind,
             str(unit.pqr) if unit.pqr is not None else "-",
             _fmt(unit.predicted_seconds),

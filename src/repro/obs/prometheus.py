@@ -284,6 +284,18 @@ def serving_families(
             f"{prefix}_sessions", "gauge", "Open sessions",
         ).add(status.get("sessions", 0)),
     ])
+    cse = status.get("cse")
+    if cse:
+        families.extend([
+            MetricFamily(
+                f"{prefix}_cse_hits_total", "counter",
+                "Queries that adopted a concurrent query's in-flight result",
+            ).add(cse.get("hits", 0)),
+            MetricFamily(
+                f"{prefix}_cse_inflight", "gauge",
+                "Result keys currently executing under a CSE lease",
+            ).add(cse.get("inflight", 0)),
+        ])
     return families
 
 
@@ -321,6 +333,10 @@ def replica_families(
         f"{prefix}_result_cache_hits_total", "counter",
         "Result-cache hits answered on the replica's dispatch path",
     )
+    cse_hits = MetricFamily(
+        f"{prefix}_cse_hits_total", "counter",
+        "In-flight results adopted via cross-query CSE on the replica",
+    )
     failed = MetricFamily(
         f"{prefix}_failed_total", "counter",
         "Queries failed on the replica",
@@ -338,11 +354,12 @@ def replica_families(
         generation.add(replica.get("calibration_generation", 0), replica=name)
         served.add(replica.get("served", 0), replica=name)
         cache_hits.add(replica.get("result_cache_hits", 0), replica=name)
+        cse_hits.add(replica.get("cse_hits", 0), replica=name)
         failed.add(replica.get("failed", 0), replica=name)
         timed_out.add(replica.get("timed_out", 0), replica=name)
     return [
         queue_depth, running, busy, budget, generation,
-        served, cache_hits, failed, timed_out,
+        served, cache_hits, cse_hits, failed, timed_out,
     ]
 
 

@@ -26,6 +26,7 @@ from repro.cluster.task import TaskContext, TransferKind
 from repro.config import EngineConfig
 from repro.core.cfo import _scatter_tile
 from repro.core.fused_eval import SliceEnv, evaluate_masked_slice, evaluate_slice
+from repro.core.physical import env_key_of
 from repro.core.plan import PartialFusionPlan
 from repro.core.spaces import (
     Axis,
@@ -79,6 +80,13 @@ class BroadcastFusedOperator:
     def execute(self, cluster: SimulatedCluster, env: Env) -> BlockedMatrix:
         self._slices = cluster.slice_cache
         values = self._resolve_frontier(env)
+        # graph-pass sharing annotation, captured once on the driver thread
+        # (task closures run on pool threads where the scope is unset)
+        shared = {
+            node.node_id
+            for node in self.plan.frontier()
+            if env_key_of(node) in cluster.shared_inputs
+        }
         main = self.main_source(values)
         num_tasks = self.num_partitions(values)
 
@@ -100,15 +108,24 @@ class BroadcastFusedOperator:
                 for source, matrix in values.items():
                     if source is main:
                         continue
-                    task.receive(matrix.nbytes)
+                    if source.node_id in shared:
+                        task.receive_local(matrix.nbytes)
+                    else:
+                        task.receive(matrix.nbytes)
                 # repartition: this task's main blocks
                 owned = [key for key in grid_keys if owner[key] == t]
+                main_shared = main.node_id in shared
                 if main_tag is not None:
                     for key in owned:
                         fetch = key if main_tag[0].kind is AxisKind.I else (key[1], key[0])
                         block = values[main].blocks.get(fetch)
                         if block is not None:
-                            task.receive(block)
+                            if main_shared:
+                                task.receive_local(block)
+                            else:
+                                task.receive(block)
+                elif main_shared:
+                    task.receive_local(values[main].nbytes // num_tasks)
                 else:
                     task.receive(values[main].nbytes // num_tasks)
 

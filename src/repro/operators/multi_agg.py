@@ -18,6 +18,7 @@ from repro.cluster.parallel import parallel_map
 from repro.cluster.task import TaskContext, TransferKind
 from repro.config import EngineConfig
 from repro.core.fused_eval import SliceEnv, evaluate_slice
+from repro.core.physical import env_key_of
 from repro.core.plan import MultiAggPlan
 from repro.errors import ExecutionError, PlanError
 from repro.lang.dag import AggNode, InputNode, Node, TransposeNode
@@ -69,6 +70,13 @@ class MultiAggregationOperator:
 
     def execute(self, cluster: SimulatedCluster, env: Env) -> Dict[Node, BlockedMatrix]:
         values = self._resolve_frontier(env)
+        # graph-pass sharing annotation, captured once on the driver thread
+        # (task closures run on pool threads where the scope is unset)
+        shared = {
+            node.node_id
+            for node in self.plan.frontier()
+            if env_key_of(node) in cluster.shared_inputs
+        }
         grid_rows, grid_cols = self.base_grid
         keys = [(bi, bj) for bi in range(grid_rows) for bj in range(grid_cols)]
         num_tasks = min(cluster.total_tasks, len(keys))
@@ -90,7 +98,10 @@ class MultiAggregationOperator:
                         block = received.get(cache_key)
                         if block is None:
                             block = values[source].get_block(*fetch)
-                            task.receive(block)  # shared inputs move ONCE
+                            if source.node_id in shared:
+                                task.receive_local(block)
+                            else:
+                                task.receive(block)  # shared inputs move ONCE
                             received[cache_key] = block
                         frontier[edge] = block
                     slice_env = SliceEnv(frontier=frontier)

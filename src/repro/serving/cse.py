@@ -1,0 +1,164 @@
+"""Cross-query common-subexpression elimination for the serving layer.
+
+The result cache already deduplicates *completed* work: a query whose
+``(planning signature, DAG fingerprint, bound-input versions)`` key was
+filled earlier is answered without executing.  What it cannot deduplicate
+is *in-flight* work — two tenants submitting the same subgraph at the same
+moment (a shared dashboard refresh, replicated retraining jobs) both miss
+the cache and both execute.
+
+:class:`SubplanIndex` closes that window.  It is one service-wide registry
+of executing result keys: the first query to lease a key becomes its
+**owner** and executes normally; every concurrent query with the same key
+becomes a **waiter** that blocks until the owner publishes its
+:class:`~repro.execution.ExecutionResult` and adopts it verbatim.  Because
+engine execution is deterministic, the adopted result is bit-identical to
+what the waiter would have computed — the same contract the shared result
+cache already relies on across replicas.
+
+Deadlock freedom: a waiter only ever blocks on a key whose owner is
+already past the lease (mid-execution on another dispatch thread), and
+owners never wait on anything in this module — the wait graph is a star,
+never a cycle.  If the owner's execution *fails*, waiters are woken with
+no result and fall back to executing themselves, so one tenant's poisoned
+binding can never fail another tenant's query.
+
+Entries are removed the moment the owner completes or fails; later
+arrivals are served by the result cache instead.  Disabled (the
+``ServiceConfig.cross_query_cse`` default — adoption trades the
+per-query-deltas-sum-to-cluster-totals invariant for throughput), every
+lease reports ownership and the index keeps no state — the dispatch path
+is byte-for-byte the pre-CSE one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class _Inflight:
+    """One executing result key: the owner's promise to its waiters."""
+
+    __slots__ = ("cond", "done", "failed", "result", "waiters")
+
+    def __init__(self, lock: threading.Lock):
+        self.cond = threading.Condition(lock)
+        self.done = False
+        self.failed = False
+        self.result: object = None
+        self.waiters = 0
+
+
+class SubplanLease:
+    """What :meth:`SubplanIndex.lease` hands back.
+
+    ``owner=True``: execute, then call ``complete``/``fail`` on the index.
+    ``owner=False``: call :meth:`wait`; ``None`` means the owner failed
+    and this query should execute on its own.
+    """
+
+    __slots__ = ("owner", "_entry")
+
+    def __init__(self, owner: bool, entry: Optional[_Inflight]):
+        self.owner = owner
+        self._entry = entry
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[object]:
+        """Block until the owner publishes; the adopted result, or ``None``
+        when the owner failed (or *timeout* expired) — then execute."""
+        entry = self._entry
+        assert entry is not None and not self.owner
+        with entry.cond:
+            if timeout is None:
+                while not entry.done:
+                    entry.cond.wait()
+            elif not entry.done:
+                # a spurious wake just demotes to solo execution — safe
+                entry.cond.wait(timeout)
+            if entry.done and not entry.failed:
+                return entry.result
+            return None
+
+
+class SubplanIndex:
+    """Service-wide registry of in-flight result keys (thread-safe)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._inflight: Dict[object, _Inflight] = {}
+        # counters (monotonic, surfaced via stats())
+        self._hits = 0        # waiters that adopted an owner's result
+        self._executed = 0    # leases granted ownership
+        self._failures = 0    # owner executions that failed
+        self._fallbacks = 0   # waiters woken without a result
+
+    # -- dispatch-path API -------------------------------------------------
+
+    def lease(self, key: object) -> SubplanLease:
+        """Claim *key*: ownership when nobody is executing it, a waiter
+        handle otherwise."""
+        if not self.enabled:
+            return SubplanLease(True, None)
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = _Inflight(self._lock)
+                self._inflight[key] = entry
+                self._executed += 1
+                return SubplanLease(True, entry)
+            entry.waiters += 1
+            return SubplanLease(False, entry)
+
+    def complete(self, key: object, result: object) -> None:
+        """Owner succeeded: publish *result* to waiters, retire the entry."""
+        if not self.enabled:
+            return
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+            if entry is None:
+                return
+            entry.done = True
+            entry.result = result
+            self._hits += entry.waiters
+            entry.cond.notify_all()
+
+    def fail(self, key: object) -> None:
+        """Owner failed: wake waiters empty-handed (they execute solo)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+            if entry is None:
+                return
+            entry.done = True
+            entry.failed = True
+            self._failures += 1
+            self._fallbacks += entry.waiters
+            entry.cond.notify_all()
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "hits": self._hits,
+                "executed": self._executed,
+                "failures": self._failures,
+                "fallbacks": self._fallbacks,
+                "inflight": len(self._inflight),
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"SubplanIndex(enabled={stats['enabled']}, "
+            f"hits={stats['hits']}, inflight={stats['inflight']})"
+        )

@@ -56,6 +56,7 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.serving.admission import AdmissionController
+from repro.serving.cse import SubplanIndex
 from repro.serving.result_cache import ResultCache, result_key
 from repro.serving.routing import ConsistentHashRing
 from repro.serving.ticket import QueryTicket, ServedResult
@@ -104,6 +105,7 @@ class EngineReplica:
         metrics: "ServiceMetrics",
         cluster: Optional[SimulatedCluster] = None,
         on_complete: Optional[Callable[[], None]] = None,
+        subplans: Optional[SubplanIndex] = None,
     ):
         self.index = index
         self.name = f"replica-{index}"
@@ -112,6 +114,9 @@ class EngineReplica:
         self.cluster = cluster or SimulatedCluster(engine.config)
         self.result_cache = result_cache
         self.metrics = metrics
+        # service-wide in-flight subplan registry (cross-query CSE); a
+        # standalone replica gets a disabled index and dispatches as before
+        self.subplans = subplans or SubplanIndex(enabled=False)
         self._on_complete = on_complete
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -124,6 +129,7 @@ class EngineReplica:
         # shared ServiceMetrics; these answer "which replica did it")
         self.served = 0
         self.result_cache_hits = 0
+        self.cse_hits = 0
         self.failed = 0
         self.timed_out = 0
         self._dispatcher = threading.Thread(
@@ -208,14 +214,31 @@ class EngineReplica:
                 self.engine.planning_signature(), ticket.dag, ticket.bound
             )
             cached = self.result_cache.get(key)
+            cse_hit = False
             if cached is not None:
                 result, from_cache = cached, True
             else:
-                result = self.engine.execute(
-                    ticket.dag, ticket.bound, cluster=self.cluster
-                )
-                self.result_cache.put(key, result, pins=ticket.bound)
                 from_cache = False
+                result = None
+                # cross-query CSE: adopt the in-flight owner's result when
+                # another query with this exact key is already executing
+                # (deterministic execution makes the adoption bit-identical)
+                lease = self.subplans.lease(key)
+                if not lease.owner:
+                    result = lease.wait()
+                    cse_hit = result is not None
+                if result is None:
+                    try:
+                        result = self.engine.execute(
+                            ticket.dag, ticket.bound, cluster=self.cluster
+                        )
+                    except Exception:
+                        if lease.owner:
+                            self.subplans.fail(key)
+                        raise
+                    self.result_cache.put(key, result, pins=ticket.bound)
+                    if lease.owner:
+                        self.subplans.complete(key, result)
             total = time.monotonic() - ticket.enqueued_at
             served = ServedResult(
                 query_id=ticket.query_id,
@@ -234,6 +257,8 @@ class EngineReplica:
                 self.served += 1
                 if from_cache:
                     self.result_cache_hits += 1
+                if cse_hit:
+                    self.cse_hits += 1
             ticket._resolve(served)
         except Exception as exc:  # noqa: BLE001 - failures belong to the ticket
             self.metrics.record_failed(ticket.tenant)
@@ -273,6 +298,7 @@ class EngineReplica:
                 "closed": self._closed,
                 "served": self.served,
                 "result_cache_hits": self.result_cache_hits,
+                "cse_hits": self.cse_hits,
                 "failed": self.failed,
                 "timed_out": self.timed_out,
                 "memory_budget_bytes": self._admission.memory_budget,
@@ -335,10 +361,18 @@ class ReplicaPool:
         memory_budget: int,
         cluster: Optional[SimulatedCluster] = None,
         on_complete: Optional[Callable[[], None]] = None,
+        subplans: Optional[SubplanIndex] = None,
     ):
         self.config = config
         self.result_cache = result_cache
         self.metrics = metrics
+        # one in-flight subplan index across every replica: concurrent
+        # identical queries execute once no matter where routing lands them
+        self.subplans = (
+            subplans
+            if subplans is not None
+            else SubplanIndex(enabled=config.cross_query_cse)
+        )
         self.calibration = engine.calibration
         self.total_memory_budget = memory_budget
         self._on_complete = on_complete
@@ -416,6 +450,7 @@ class ReplicaPool:
             self.metrics,
             cluster=cluster,
             on_complete=self._on_complete,
+            subplans=self.subplans,
         )
         self.calibration.register_client(replica.name)
         return replica

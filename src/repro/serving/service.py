@@ -328,6 +328,8 @@ class MatrixService:
                 int(r["memory_budget_bytes"]) for r in replicas
             ),
             result_cache=self.result_cache.stats(),
+            # cross-query CSE: in-flight dedup across tenants and replicas
+            cse=self.pool.subplans.stats(),
             plan_cache=_merge_cache_stats([r["plan_cache"] for r in replicas]),
             slice_cache=_merge_cache_stats(
                 [r["slice_cache"] for r in replicas]
