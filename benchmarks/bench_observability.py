@@ -12,9 +12,17 @@ observability contract end to end:
 * **exportable**: the Prometheus page parses, the Chrome/Perfetto trace
   validates and contains span + cache events.
 
-Writes ``BENCH_observability.json`` and the per-query Perfetto trace
-``TRACE_observability.json`` next to this script.  Exits non-zero on any
-contract violation — CI runs this with ``--quick`` as a smoke test.
+Then exercises the **service observability plane** (DESIGN.md §16): a
+3-tenant replay with per-tenant accounting and SLO burn-rate tracking on
+must stay within the same wall-clock overhead budget versus the bare
+service, conserve cost (ledgers sum to the cluster totals), flip the
+burn-rate alert for a canary tenant with an impossible latency target,
+and serve a parseable ``/metrics`` page over real HTTP.
+
+Writes ``BENCH_observability.json``, the per-query Perfetto trace
+``TRACE_observability.json`` and the ``CHARGEBACK_observability.txt``
+chargeback report next to this script.  Exits non-zero on any contract
+violation — CI runs this with ``--quick`` as a smoke test.
 """
 
 from __future__ import annotations
@@ -23,20 +31,25 @@ import argparse
 import json
 import sys
 import time
+import urllib.request
 from pathlib import Path
 
 import numpy as np
 
 from repro.cluster.runtime.trace import validate_chrome_trace
+from repro.config import ServiceConfig
 from repro.core import FuseMEEngine
+from repro.lang import matrix_input, sq, sum_of
 from repro.matrix import rand_dense, rand_sparse
-from repro.obs import MemorySink, PrometheusSink
+from repro.obs import MemorySink, PrometheusSink, SLOSpec
+from repro.obs.accounting import RESOURCE_FIELDS
 from repro.obs.prometheus import (
     cache_families,
     engine_families,
     render_exposition,
     validate_exposition,
 )
+from repro.serving import MatrixService
 from repro.workloads.gnmf import gnmf_updates
 
 from common import BLOCK_SIZE, bench_config
@@ -97,6 +110,151 @@ def measure_overhead(quick: bool, iterations: int, trials: int):
         on = (modeled, outputs, engine, sink)
     overhead = min(on_walls) / min(off_walls) - 1.0
     return off_walls, on_walls, overhead, off, on
+
+
+# -- the service observability plane ----------------------------------------
+
+TENANTS = ("alice", "bob", "canary")
+
+
+def tenant_workloads(quick: bool):
+    """One distinct query per tenant (no cross-tenant cache/CSE sharing)."""
+    base = 120 if quick else 240
+    workloads = {}
+    for i, tenant in enumerate(TENANTS):
+        rows = base + 2 * BLOCK_SIZE * i
+        a = matrix_input("A", rows, base, BLOCK_SIZE)
+        b = matrix_input("B", base, rows, BLOCK_SIZE)
+        workloads[tenant] = (sum_of(sq(a @ b)), {
+            "A": rand_dense(rows, base, BLOCK_SIZE, seed=31 + i),
+            "B": rand_dense(base, rows, BLOCK_SIZE, seed=41 + i),
+        })
+    return workloads
+
+
+def make_service(plane: bool):
+    """A 2-replica service; with the plane on, accounting + SLOs are live
+    (the canary tenant's impossible target induces the burn alert)."""
+    slos = ()
+    if plane:
+        slos = (
+            SLOSpec(tenant="alice", latency_target_s=60.0),
+            SLOSpec(tenant="bob", latency_target_s=60.0),
+            SLOSpec(tenant="canary", latency_target_s=1e-9,
+                    objective=0.5, burn_alert_threshold=1.5),
+        )
+    config = ServiceConfig(
+        accounting=plane,
+        slos=slos,
+        num_replicas=2,
+        result_cache_entries=0,  # every query executes: steady A/B walls
+    )
+    engine = FuseMEEngine(bench_config())
+    sink = engine.telemetry.attach(MemorySink()) if plane else None
+    return MatrixService(engine, config), sink
+
+
+def run_replay(service, workloads, rounds: int) -> float:
+    """*rounds* interleaved waves of one query per tenant; returns wall."""
+    sessions = {}
+    for tenant, (query, inputs) in workloads.items():
+        session = service.open_session(tenant)
+        for name, matrix in inputs.items():
+            session.bind(name, matrix)
+        sessions[tenant] = (session, query)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        tickets = [s.submit(q) for s, q in sessions.values()]
+        for ticket in tickets:
+            ticket.result(timeout=120)
+    return time.perf_counter() - start
+
+
+def serving_plane_section(quick: bool, trials: int, failures, here: Path):
+    """A/B the plane's serving overhead, then check its contracts."""
+    rounds = 2 if quick else 5
+    workloads = tenant_workloads(quick)
+    off_walls, on_walls = [], []
+    service = sink = None
+    for trial in range(trials):
+        bare, _ = make_service(plane=False)
+        off_walls.append(run_replay(bare, workloads, rounds))
+        bare.close()
+        service, sink = make_service(plane=True)
+        on_walls.append(run_replay(service, workloads, rounds))
+        if trial < trials - 1:
+            service.close()
+    overhead = min(on_walls) / min(off_walls) - 1.0
+    print(f"\nserving plane off: min {min(off_walls):.3f}s over {trials} trials")
+    print(f"serving plane on:  min {min(on_walls):.3f}s over {trials} trials")
+    print(f"overhead: {overhead * 100:+.2f}% (budget {OVERHEAD_BUDGET:.0%})")
+    if overhead > OVERHEAD_BUDGET:
+        failures.append(
+            f"accounting+SLO overhead {overhead * 100:.2f}% exceeds "
+            f"{OVERHEAD_BUDGET:.0%} budget"
+        )
+
+    # conservation: ledgers sum to the cluster-level metrics totals
+    snap = service.accountant.snapshot()
+    totals = snap["totals"]
+    for name in RESOURCE_FIELDS:
+        if abs(totals["charged"][name] - totals["usage"][name]) > 1e-6:
+            failures.append(f"charged != usage for {name}")
+    clusters = {
+        id(r.cluster): r.cluster for r in service.pool.replicas
+    }.values()
+    cluster_seconds = sum(c.metrics.elapsed_seconds for c in clusters)
+    ledger_seconds = totals["usage"]["modeled_seconds"]
+    if abs(ledger_seconds - cluster_seconds) > 1e-6 * max(1.0, cluster_seconds):
+        failures.append(
+            f"ledger modeled seconds {ledger_seconds} != cluster totals "
+            f"{cluster_seconds}"
+        )
+
+    # the canary's impossible latency target must be burning by now
+    slo_state = service.status()["slo"]
+    if not slo_state["canary"]["burning"]:
+        failures.append("canary SLO never started burning")
+    if slo_state["alice"]["burning"]:
+        failures.append("alice SLO burning despite a 60s target")
+    if not sink.named("slo.burn_alert"):
+        failures.append("no slo.burn_alert event reached the bus")
+
+    # chargeback artifact
+    report_text = service.accounting()
+    chargeback_path = here / "CHARGEBACK_observability.txt"
+    chargeback_path.write_text(report_text + "\n")
+    print()
+    print(report_text)
+    print(f"wrote {chargeback_path}")
+
+    # a real scrape over HTTP
+    server = service.serve_metrics()
+    with urllib.request.urlopen(server.url + "/metrics") as resp:
+        page = resp.read().decode("utf-8")
+    scrape_samples = 0
+    try:
+        scrape_samples = validate_exposition(page)
+        print(f"http scrape: {scrape_samples} samples from {server.url}/metrics")
+    except ValueError as exc:
+        failures.append(f"scraped exposition invalid: {exc}")
+    for needle in ("repro_tenant_queries_total",
+                   'repro_slo_burning{tenant="canary"} 1'):
+        if needle not in page:
+            failures.append(f"scrape is missing {needle!r}")
+    service.close()
+
+    return {
+        "rounds": rounds,
+        "tenants": list(TENANTS),
+        "wall_seconds_off": [round(w, 4) for w in off_walls],
+        "wall_seconds_on": [round(w, 4) for w in on_walls],
+        "overhead_fraction": round(overhead, 4),
+        "ledger_modeled_seconds": round(ledger_seconds, 6),
+        "cluster_modeled_seconds": round(cluster_seconds, 6),
+        "canary_burning": bool(slo_state["canary"]["burning"]),
+        "scrape_samples": scrape_samples,
+    }
 
 
 def main() -> int:
@@ -190,6 +348,9 @@ def main() -> int:
           f"({', '.join(f'{v} {k}' for k, v in sorted(categories.items()))}) "
           f"-> {trace_path.name}")
 
+    # -- the service observability plane ----------------------------------
+    serving_report = serving_plane_section(args.quick, trials, failures, here)
+
     # -- report -----------------------------------------------------------
     report = {
         "quick": args.quick,
@@ -213,6 +374,7 @@ def main() -> int:
         },
         "prometheus_samples": prom_samples,
         "trace_events": categories,
+        "serving_plane": serving_report,
     }
     out_path = Path(args.output) if args.output else (
         here / "BENCH_observability.json"

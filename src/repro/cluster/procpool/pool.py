@@ -56,9 +56,16 @@ class PoolBrokenError(RuntimeError):
     that finished before the pool broke, so callers can salvage the batch.
     """
 
-    def __init__(self, message: str, completed: Optional[Dict[int, "TaskOutcome"]] = None):
+    def __init__(
+        self,
+        message: str,
+        completed: Optional[Dict[int, "TaskOutcome"]] = None,
+        worker_pid: Optional[int] = None,
+    ):
         super().__init__(message)
         self.completed: Dict[int, TaskOutcome] = completed or {}
+        #: OS pid of the worker whose death broke the pool (when known).
+        self.worker_pid = worker_pid
 
 
 @dataclass
@@ -69,6 +76,7 @@ class TaskOutcome:
     value: object = None
     error: Optional[BaseException] = None
     worker_id: int = -1
+    worker_pid: int = -1
     busy_seconds: float = 0.0
     submitted_at: float = 0.0
     completed_at: float = 0.0
@@ -271,7 +279,8 @@ class ProcessPool:
 
         while len(outcomes) < total:
             try:
-                worker_id, task_id, blob, busy = self._result_queue.get(timeout=0.2)
+                worker_id, worker_pid, task_id, blob, busy = \
+                    self._result_queue.get(timeout=0.2)
             except queue_mod.Empty:
                 self._reap_crashes(outcomes, backlog, attempts)
                 for worker in self._workers:
@@ -286,6 +295,7 @@ class ProcessPool:
             outcome = TaskOutcome(
                 index=index,
                 worker_id=worker_id,
+                worker_pid=worker_pid,
                 busy_seconds=busy,
                 submitted_at=worker.submitted_at,
                 completed_at=time.perf_counter(),
@@ -322,14 +332,16 @@ class ProcessPool:
                     and attempts.get(casualty, 0) >= self.task_attempts
                 )
             ):
+                dead_pid = worker.process.pid
                 self._broken = True
                 self._teardown()
                 raise PoolBrokenError(
-                    f"worker {worker_id} died"
+                    f"worker {worker_id} (pid {dead_pid}) died"
                     + (f" running task {casualty}" if casualty is not None else "")
                     + f" (respawns={self.stats.respawns}, "
                     f"limit={self.respawn_limit}); pool is broken",
                     completed=dict(outcomes),
+                    worker_pid=dead_pid,
                 )
             self.stats.respawns += 1
             try:

@@ -73,6 +73,8 @@ def worker_loop(worker_id: int, task_queue, result_queue) -> None:
             blob = pickle.dumps((ERR, encode_error(exc)))
         busy = time.perf_counter() - start
         try:
-            result_queue.put((worker_id, task_id, blob, busy))
+            # the pid rides alongside so driver-side traces can attribute
+            # work to the real OS process, not just the logical worker slot
+            result_queue.put((worker_id, os.getpid(), task_id, blob, busy))
         except Exception:  # pragma: no cover - queue torn down under us
             os._exit(70)

@@ -313,8 +313,24 @@ class ServiceConfig:
     #: per-query metric deltas still sum to the shared cluster's totals
     #: (the seed serving invariant).
     cross_query_cse: bool = False
+    #: Per-tenant resource accounting
+    #: (:class:`repro.obs.accounting.ResourceAccountant`): served queries
+    #: deposit modeled usage and wall time into per-tenant ledgers surfaced
+    #: via ``service.accounting()`` and ``repro_tenant_*`` metric families.
+    #: Strictly observational.
+    accounting: bool = True
+    #: Fraction of an execution's modeled cost a cross-query-CSE adopter
+    #: is charged (and the owning tenant credited) in the ledgers.
+    cse_adopter_cost_share: float = 0.5
+    #: Latency SLOs: a sequence of :class:`repro.obs.slo.SLOSpec`, one per
+    #: tenant to track.  Non-empty enables burn-rate tracking surfaced in
+    #: ``status()["slo"]``, ``repro_slo_*`` families and ``slo.burn_alert``
+    #: bus events.  Stored as a tuple (kept loosely typed here — the spec
+    #: class lives in :mod:`repro.obs`, which this module must not import).
+    slos: tuple = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "slos", tuple(self.slos))
         if self.max_concurrency <= 0:
             raise ValueError("max_concurrency must be positive")
         if self.max_queue_depth <= 0:
@@ -339,6 +355,20 @@ class ServiceConfig:
             raise ValueError("ring_vnodes must be positive")
         if self.async_max_inflight is not None and self.async_max_inflight <= 0:
             raise ValueError("async_max_inflight must be positive or None")
+        if not 0.0 <= self.cse_adopter_cost_share <= 1.0:
+            raise ValueError(
+                "cse_adopter_cost_share must be within [0, 1]"
+            )
+        seen = set()
+        for spec in self.slos:
+            tenant = getattr(spec, "tenant", None)
+            if tenant is None:
+                raise ValueError(
+                    f"slos entries must be SLOSpec-like (got {spec!r})"
+                )
+            if tenant in seen:
+                raise ValueError(f"duplicate SLO for tenant {tenant!r}")
+            seen.add(tenant)
 
 
 def paper_cluster(num_nodes: int = 8) -> EngineConfig:

@@ -600,6 +600,9 @@ def run_physical_plan(
     wall_end)`` after each completed unit — wall-clock only, so attaching
     one can never change a modeled number.  It may be called from pool
     threads; the engine's observer writes one dict slot per unit index.
+    The process backend calls it with a 4th argument — the worker-captured
+    span dict (pid, wall/kernel seconds, shm traffic) — so observers must
+    accept an optional trailing parameter; this thread path passes none.
     """
     metrics = cluster.metrics
 

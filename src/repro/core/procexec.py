@@ -36,7 +36,9 @@ matching serial semantics, after the preceding units' records are merged.
 from __future__ import annotations
 
 import gc
+import os
 import pickle
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Tuple
@@ -86,6 +88,9 @@ class UnitOutcome:
     #: A single ref, or ``{node_id: ref}`` for multi-output units.
     output: object = None
     error: Optional[tuple] = None
+    #: Worker-side observability: pid, wall/kernel seconds, shm traffic.
+    #: A plain dict so it pickles cheaply and the obs layer stays optional.
+    span: Optional[Dict[str, float]] = None
 
 
 def build_unit_task(
@@ -125,6 +130,24 @@ def _worker_engine(engine_cls: type, config: EngineConfig):
     return engine
 
 
+def _refs_nbytes(refs) -> int:
+    """Shared-segment bytes behind an iterable of :class:`MatrixRef`."""
+    total = 0
+    for ref in refs:
+        segment = getattr(ref, "segment", None)
+        if segment is not None:
+            total += segment.nbytes
+    return total
+
+
+def _output_nbytes(output: object) -> int:
+    if output is None:
+        return 0
+    if isinstance(output, dict):
+        return _refs_nbytes(output.values())
+    return _refs_nbytes((output,))
+
+
 def execute_unit_task(task: UnitTask) -> UnitOutcome:
     """Pool-worker entry point: run one unit and write results to the store.
 
@@ -135,17 +158,21 @@ def execute_unit_task(task: UnitTask) -> UnitOutcome:
     """
     from repro.cluster.procpool.worker import encode_error
 
+    wall_start = time.perf_counter()
     engine = _worker_engine(task.engine_cls, task.config)
     cluster = SimulatedCluster(task.config)
     closers: List[Callable[[], None]] = []
     env: Dict[object, object] = {}
     outcome = UnitOutcome()
+    kernel_start = wall_start
     try:
         for key, ref in task.env_refs.items():
             matrix, close = open_matrix(ref)
             env[key] = matrix
             closers.append(close)
         op = task.op
+        kernel_start = time.perf_counter()
+        kernel_end = kernel_start
         try:
             # the shared entry point honours merged units and shared-input
             # charging annotations exactly like the in-process scheduler
@@ -153,6 +180,7 @@ def execute_unit_task(task: UnitTask) -> UnitOutcome:
 
             with cluster.unit_scope(op.index):
                 result = execute_unit(engine, op, cluster, env)
+            kernel_end = time.perf_counter()
             if isinstance(result, dict):
                 outcome.output = {
                     node.node_id: write_matrix(matrix, task.output_dir)
@@ -161,9 +189,18 @@ def execute_unit_task(task: UnitTask) -> UnitOutcome:
             else:
                 outcome.output = write_matrix(result, task.output_dir)
         except Exception as exc:  # noqa: BLE001 - shipped to the driver
+            kernel_end = time.perf_counter()
             outcome.error = encode_error(exc)
         outcome.records = list(cluster.metrics.stages)
         outcome.counters = dict(cluster.metrics.counters)
+        outcome.span = {
+            "pid": os.getpid(),
+            "wall_seconds": time.perf_counter() - wall_start,
+            "kernel_seconds": kernel_end - kernel_start,
+            "shm_read_bytes": _refs_nbytes(task.env_refs.values()),
+            "shm_write_bytes": _output_nbytes(outcome.output),
+            "stages": len(outcome.records),
+        }
         return outcome
     finally:
         env.clear()
@@ -190,8 +227,19 @@ def unit_task_fn() -> Callable[[UnitTask], UnitOutcome]:
 # driver side
 
 
-def _emit_fallback(engine, metrics, reason: str) -> None:
-    """The never-a-wrong-answer demotion: warn + count + telemetry event."""
+def _emit_fallback(
+    engine,
+    metrics,
+    reason: str,
+    task: Optional[str] = None,
+    worker_pid: Optional[int] = None,
+) -> None:
+    """The never-a-wrong-answer demotion: warn + count + telemetry event.
+
+    *task* (the unit label being demoted) and *worker_pid* (the dead
+    worker, when a crash triggered the demotion) ride on the
+    ``procpool.fallback`` event so operators can attribute it.
+    """
     warnings.warn(
         f"process execution backend falling back to threads: {reason}",
         RuntimeWarning,
@@ -202,10 +250,15 @@ def _emit_fallback(engine, metrics, reason: str) -> None:
     if bus is not None and getattr(bus, "active", False):
         from repro.obs import TelemetryEvent
 
+        attrs = {"engine": getattr(engine, "name", "?"), "reason": reason}
+        if task is not None:
+            attrs["task"] = task
+        if worker_pid is not None:
+            attrs["worker_pid"] = worker_pid
         bus.emit(TelemetryEvent(
             name="procpool.fallback",
             kind="event",
-            attrs={"engine": getattr(engine, "name", "?"), "reason": reason},
+            attrs=attrs,
         ))
 
 
@@ -286,7 +339,15 @@ class ProcessWaveRunner:
         except PoolBrokenError as broken:
             self.broken = True
             completed = dict(broken.completed)
-            _emit_fallback(self.engine, metrics, str(broken))
+            demoted = [
+                op.label() for position, op in enumerate(wave)
+                if position not in completed
+            ]
+            _emit_fallback(
+                self.engine, metrics, str(broken),
+                task=", ".join(demoted) if demoted else None,
+                worker_pid=broken.worker_pid,
+            )
 
         busy_ms = 0
         for position, op in enumerate(wave):
@@ -301,7 +362,16 @@ class ProcessWaveRunner:
                 self._commit(op, value, env, merge)
                 busy_ms += int(outcome.busy_seconds * 1000)
                 if unit_observer is not None:
-                    unit_observer(op, outcome.submitted_at, outcome.completed_at)
+                    worker_span = value.span
+                    if worker_span is not None:
+                        worker_span = dict(worker_span)
+                        worker_span.setdefault("worker_id", outcome.worker_id)
+                    unit_observer(
+                        op,
+                        outcome.submitted_at,
+                        outcome.completed_at,
+                        worker_span,
+                    )
             elif usable:  # the unit itself failed: serial semantics
                 replay_records(value.records, self.cluster)
                 from repro.cluster.procpool.worker import decode_error
@@ -310,16 +380,26 @@ class ProcessWaveRunner:
             elif outcome is not None and outcome.error is not None:
                 # task function raised outside the unit guard (pickling,
                 # store attach, injected test failures): rerun locally
-                self._rerun_locally(op, run_op, merge, repr(outcome.error))
+                self._rerun_locally(
+                    op, run_op, merge, repr(outcome.error),
+                    worker_pid=outcome.worker_pid
+                    if outcome.worker_pid >= 0 else None,
+                )
             else:
                 self._rerun_locally(op, run_op, merge, "worker crashed")
         if busy_ms:
             metrics.bump("procpool_busy_ms", busy_ms)
 
-    def _rerun_locally(self, op, run_op, merge, reason: str) -> None:
+    def _rerun_locally(
+        self, op, run_op, merge, reason: str,
+        worker_pid: Optional[int] = None,
+    ) -> None:
         if not self.broken:
             self.broken = True
-            _emit_fallback(self.engine, self.cluster.metrics, reason)
+            _emit_fallback(
+                self.engine, self.cluster.metrics, reason,
+                task=op.label(), worker_pid=worker_pid,
+            )
         merge(op, run_op(op))
 
     def _commit(self, op, value: UnitOutcome, env, merge) -> None:

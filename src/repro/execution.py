@@ -481,6 +481,7 @@ class Engine(ABC):
         plan_span: Optional[Span] = None
         exec_span: Optional[Span] = None
         unit_walls: Dict[int, Tuple[float, float]] = {}
+        unit_workers: Dict[int, Dict[str, float]] = {}
 
         with (
             tracer.span("query", "query", engine=self.name)
@@ -517,8 +518,12 @@ class Engine(ABC):
 
             observer = None
             if tracer is not None:
-                def observer(op, wall_start, wall_end):
+                def observer(op, wall_start, wall_end, worker=None):
+                    # the process backend passes the worker-captured span
+                    # dict as a 4th argument; the thread path passes none
                     unit_walls[op.index] = (wall_start, wall_end)
+                    if worker is not None:
+                        unit_workers[op.index] = worker
 
             env: Dict[object, BlockedMatrix] = dict(inputs)
             with (
@@ -561,7 +566,7 @@ class Engine(ABC):
             # diff, so the calibration counters land in this query's delta
             self._calibration_feedback(
                 cache_key, physical, cluster.metrics.diff_since(baseline),
-                cluster.metrics,
+                cluster,
             )
         metrics = cluster.metrics.diff_since(baseline)
 
@@ -569,7 +574,8 @@ class Engine(ABC):
         if tracer is not None:
             span = tracer.root
             _attach_unit_spans(
-                exec_span, physical, metrics, unit_walls, modeled_epoch
+                exec_span, physical, metrics, unit_walls, modeled_epoch,
+                unit_workers,
             )
             modeled_end = modeled_epoch + metrics.elapsed_seconds
             span.modeled_start = modeled_epoch
@@ -590,7 +596,8 @@ class Engine(ABC):
         )
         if tracer is not None:
             profile = self._build_profile(
-                physical, metrics, optimizer_counters, span, result
+                physical, metrics, optimizer_counters, span, result,
+                unit_workers,
             )
             result.profile = profile
             self.last_profile = profile
@@ -602,7 +609,7 @@ class Engine(ABC):
         cache_key: Optional[tuple],
         physical: PhysicalPlan,
         delta: MetricsCollector,
-        live_metrics: MetricsCollector,
+        cluster: SimulatedCluster,
     ) -> None:
         """Close the loop after one execute (``observe`` and ``active``).
 
@@ -668,7 +675,7 @@ class Engine(ABC):
                     errors.append(abs(predicted - measured) / measured)
         generation = self.calibration.commit()
         if observed:
-            live_metrics.bump("calibration_observations", observed)
+            cluster.metrics.bump("calibration_observations", observed)
 
         if not (self.calibration_active and cache_key is not None and errors):
             return
@@ -679,7 +686,26 @@ class Engine(ABC):
         stale = entry.fit_generation is None or entry.fit_generation < generation
         if mean_error > self.config.calibration_replan_threshold and stale:
             if self.plan_cache.invalidate(cache_key):
-                live_metrics.bump("plan_cache_calibration_evictions")
+                cluster.metrics.bump("plan_cache_calibration_evictions")
+                if cluster.trace is not None:
+                    cluster.trace.instant(
+                        "plan_cache:invalidate",
+                        "cache",
+                        ts=cluster.metrics.elapsed_seconds,
+                        engine=self.name,
+                        mean_error=round(mean_error, 6),
+                        generation=generation,
+                    )
+                if self.telemetry.active:
+                    self.telemetry.emit(TelemetryEvent(
+                        name="plan_cache.invalidate",
+                        kind="event",
+                        value=mean_error,
+                        attrs={
+                            "engine": self.name,
+                            "generation": generation,
+                        },
+                    ))
 
     def _build_profile(
         self,
@@ -688,11 +714,14 @@ class Engine(ABC):
         optimizer_counters: Mapping[str, int],
         span: Span,
         result: ExecutionResult,
+        unit_workers: Optional[Mapping[int, Mapping[str, float]]] = None,
     ) -> QueryProfile:
         per_unit = metrics.per_unit_totals()
+        workers = unit_workers or {}
         units = []
         for op in physical.ops:
             totals = per_unit.get(op.index, {})
+            worker = workers.get(op.index)
             est = op.estimate
             units.append(UnitProfile(
                 index=op.index,
@@ -715,8 +744,13 @@ class Engine(ABC):
                 measured_flops=float(totals.get("flops", 0)),
                 num_stages=int(totals.get("num_stages", 0)),
                 num_tasks=int(totals.get("num_tasks", 0)),
+                # prefer the worker-process clock when the unit ran on the
+                # process backend: stage-sum wall time excludes the worker's
+                # env open/write overhead and was measured in another process
                 measured_wall_seconds=(
-                    float(totals["wall_seconds"])
+                    float(worker["wall_seconds"])
+                    if worker is not None and "wall_seconds" in worker
+                    else float(totals["wall_seconds"])
                     if "wall_seconds" in totals else None
                 ),
             ))
@@ -829,6 +863,7 @@ def _attach_unit_spans(
     metrics: MetricsCollector,
     unit_walls: Mapping[int, Tuple[float, float]],
     modeled_epoch: float,
+    unit_workers: Optional[Mapping[int, Mapping[str, float]]] = None,
 ) -> None:
     """Grow the execute span: one child per unit, one grandchild per stage.
 
@@ -836,6 +871,12 @@ def _attach_unit_spans(
     re-sorts them into unit order), so walking them while accumulating
     seconds reconstructs each stage's modeled ``[start, end]`` window.
     Wall times come from the unit observer; stages carry modeled time only.
+
+    Units that ran on the process backend additionally get a ``worker``
+    child span built from the clock the *worker* captured: anchored inside
+    the driver-observed dispatch window, carrying the worker pid, kernel
+    seconds and shared-memory traffic — the cross-process half of the
+    unified timeline.
     """
     clock = modeled_epoch
     windows: Dict[int, list] = {}
@@ -844,6 +885,7 @@ def _attach_unit_spans(
         if record.unit is not None:
             windows.setdefault(record.unit, []).append((record, start, clock))
 
+    workers = unit_workers or {}
     for op in physical.ops:
         unit_span = exec_span.child(
             f"unit[{op.index}]", "unit", kind=op.kind, label=op.label()
@@ -855,6 +897,26 @@ def _attach_unit_spans(
         wall = unit_walls.get(op.index)
         if wall is not None:
             unit_span.wall_start, unit_span.wall_end = wall
+        worker = workers.get(op.index)
+        if worker is not None:
+            pid = int(worker.get("pid", -1))
+            worker_span = unit_span.child(
+                f"worker[{pid}]",
+                "worker",
+                pid=pid,
+                kernel_seconds=worker.get("kernel_seconds"),
+                shm_read_bytes=worker.get("shm_read_bytes"),
+                shm_write_bytes=worker.get("shm_write_bytes"),
+            )
+            if "worker_id" in worker:
+                worker_span.attrs["worker_id"] = int(worker["worker_id"])
+            if wall is not None and "wall_seconds" in worker:
+                # the worker clock measures duration; anchor it at the tail
+                # of the driver-observed dispatch window (queue wait first,
+                # execution second), clamped so it never precedes dispatch
+                duration = float(worker["wall_seconds"])
+                worker_span.wall_end = wall[1]
+                worker_span.wall_start = max(wall[0], wall[1] - duration)
         stage_windows = windows.get(op.index, [])
         if stage_windows:
             unit_span.modeled_start = stage_windows[0][1]

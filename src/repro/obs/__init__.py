@@ -13,7 +13,13 @@ The observability subsystem every layer above it reports into:
 * :mod:`repro.obs.sinks` — pluggable exporters (structured log, in-memory,
   JSON dump for benchmarks);
 * :mod:`repro.obs.prometheus` — Prometheus text-exposition rendering plus
-  a line-format validator.
+  a line-format validator;
+* :mod:`repro.obs.accounting` — per-tenant resource ledgers and the
+  chargeback report (CSE-aware cost redistribution);
+* :mod:`repro.obs.slo` — latency SLOs with multi-window error-budget
+  burn-rate alerts;
+* :mod:`repro.obs.httpd` — a stdlib HTTP endpoint serving ``/metrics``
+  and ``/status`` for pull-based scraping.
 
 Layering: this package sits next to ``config``/``utils`` at the *bottom*
 of the stack.  It never imports ``repro.core``, ``repro.cluster`` or
@@ -22,15 +28,20 @@ strings), so any layer may attach a sink without creating an import cycle
 (enforced by ``scripts/check_layers.py``).
 """
 
+from repro.obs.accounting import ResourceAccountant, TenantLedger
 from repro.obs.bus import EventBus, Sink, TelemetryEvent
+from repro.obs.httpd import MetricsHTTPServer
 from repro.obs.profile import QueryProfile, UnitProfile, relative_error
 from repro.obs.prometheus import (
     MetricFamily,
     PrometheusSink,
     render_exposition,
+    slo_families,
+    tenant_families,
     validate_exposition,
 )
 from repro.obs.sinks import JsonDumpSink, LoggingSink, MemorySink
+from repro.obs.slo import SLOSpec, SLOTracker
 from repro.obs.span import Span, SpanTracer
 
 __all__ = [
@@ -39,14 +50,21 @@ __all__ = [
     "LoggingSink",
     "MemorySink",
     "MetricFamily",
+    "MetricsHTTPServer",
     "PrometheusSink",
     "QueryProfile",
+    "ResourceAccountant",
+    "SLOSpec",
+    "SLOTracker",
     "Sink",
     "Span",
     "SpanTracer",
     "TelemetryEvent",
+    "TenantLedger",
     "UnitProfile",
     "relative_error",
     "render_exposition",
+    "slo_families",
+    "tenant_families",
     "validate_exposition",
 ]

@@ -1,0 +1,110 @@
+"""A tiny stdlib HTTP endpoint for pull-based observability.
+
+:class:`MetricsHTTPServer` serves a fixed route table of callables over
+``http.server`` — enough for a real Prometheus to scrape ``/metrics`` and
+an operator to ``curl /status``, with zero dependencies.  Each route maps
+a path to a zero-argument callable returning ``(content_type, body)``;
+the callable runs per-request on the serving thread, so scrapes always
+see fresh state.
+
+The server binds ``127.0.0.1`` on an ephemeral port by default and runs
+on a daemon thread; :meth:`close` shuts it down synchronously.  Handler
+errors surface as HTTP 500 with the exception text rather than killing
+the serving thread.
+
+Layering: pure stdlib.  Never imports ``core``, ``cluster`` or
+``serving`` — the service layer injects its callbacks.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Mapping, Tuple
+
+Route = Callable[[], Tuple[str, str]]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # set per-server-class in MetricsHTTPServer.start()
+    routes: Mapping[str, Route] = {}
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        route = self.routes.get(path)
+        if route is None:
+            body = f"not found: {path}\navailable: " + \
+                ", ".join(sorted(self.routes)) + "\n"
+            self._reply(404, "text/plain; charset=utf-8", body)
+            return
+        try:
+            content_type, body = route()
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(
+                500, "text/plain; charset=utf-8",
+                f"handler error: {exc!r}\n",
+            )
+            return
+        self._reply(200, content_type, body)
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format, *args):  # noqa: A002 (http.server API)
+        pass  # scrapes every few seconds would spam stderr
+
+
+class MetricsHTTPServer:
+    """Serve *routes* over HTTP on a daemon thread until :meth:`close`."""
+
+    def __init__(
+        self,
+        routes: Mapping[str, Route],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        handler = type("_BoundHandler", (_Handler,), {"routes": dict(routes)})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "serving"
+        return f"MetricsHTTPServer({self.url}, {state})"

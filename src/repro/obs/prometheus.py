@@ -408,6 +408,108 @@ def calibration_families(
     return families
 
 
+def tenant_families(
+    accounting: Mapping[str, Any], prefix: str = "repro_tenant"
+) -> List[MetricFamily]:
+    """Families for a ``ResourceAccountant.snapshot()`` dict: per-tenant
+    query outcomes, charged/raw resource usage, and CSE cost transfers."""
+    outcomes = MetricFamily(
+        f"{prefix}_queries_total", "counter",
+        "Accounted queries by tenant and outcome",
+    )
+    charged = MetricFamily(
+        f"{prefix}_charged_seconds_total", "counter",
+        "Modeled seconds charged after CSE redistribution, by resource",
+    )
+    usage = MetricFamily(
+        f"{prefix}_usage_seconds_total", "counter",
+        "Raw modeled seconds of executions run for the tenant, by resource",
+    )
+    shuffled = MetricFamily(
+        f"{prefix}_charged_shuffled_bytes_total", "counter",
+        "Shuffled bytes charged after CSE redistribution",
+    )
+    flops = MetricFamily(
+        f"{prefix}_charged_flops_total", "counter",
+        "Floating point operations charged after CSE redistribution",
+    )
+    wall = MetricFamily(
+        f"{prefix}_wall_seconds_total", "counter",
+        "Real submit-to-completion wall seconds of served queries",
+    )
+    transfers = MetricFamily(
+        f"{prefix}_cse_transfer_seconds_total", "counter",
+        "Modeled seconds moved between ledgers by CSE adoption",
+    )
+    seconds_dims = ("modeled_seconds", "compute_seconds", "network_seconds")
+    tenants = accounting.get("tenants") or {}
+    for tenant in sorted(tenants):
+        ledger = tenants[tenant]
+        for outcome in ("submitted", "served", "cache_hits", "cse_adoptions",
+                        "shed", "timed_out", "failed"):
+            outcomes.add(ledger.get(outcome, 0), tenant=tenant,
+                         outcome=outcome)
+        ledger_charged = ledger.get("charged") or {}
+        ledger_usage = ledger.get("usage") or {}
+        for dim in seconds_dims:
+            label = dim[: -len("_seconds")]
+            charged.add(ledger_charged.get(dim, 0.0), tenant=tenant,
+                        resource=label)
+            usage.add(ledger_usage.get(dim, 0.0), tenant=tenant,
+                      resource=label)
+        shuffled.add(ledger_charged.get("shuffled_bytes", 0.0), tenant=tenant)
+        flops.add(ledger_charged.get("flops", 0.0), tenant=tenant)
+        wall.add(ledger.get("wall_seconds", 0.0), tenant=tenant)
+        transfers.add(ledger.get("cse_credited_seconds", 0.0),
+                      tenant=tenant, direction="credited")
+        transfers.add(ledger.get("cse_charged_seconds", 0.0),
+                      tenant=tenant, direction="charged")
+    return [outcomes, charged, usage, shuffled, flops, wall, transfers]
+
+
+def slo_families(
+    slo: Mapping[str, Mapping[str, Any]], prefix: str = "repro_slo"
+) -> List[MetricFamily]:
+    """Families for an ``SLOTracker.snapshot()`` dict: per-tenant targets,
+    window burn rates, and the burning / alert-count state."""
+    target = MetricFamily(
+        f"{prefix}_latency_target_seconds", "gauge",
+        "Latency target of the tenant's SLO",
+    )
+    objective = MetricFamily(
+        f"{prefix}_objective", "gauge",
+        "Good-fraction objective of the tenant's SLO",
+    )
+    burn = MetricFamily(
+        f"{prefix}_burn_rate", "gauge",
+        "Error-budget burn rate, per alert window",
+    )
+    error_rate = MetricFamily(
+        f"{prefix}_window_error_rate", "gauge",
+        "Observed error rate, per alert window",
+    )
+    burning = MetricFamily(
+        f"{prefix}_burning", "gauge",
+        "1 while the multi-window burn-rate alert is firing",
+    )
+    alerts = MetricFamily(
+        f"{prefix}_alerts_total", "counter",
+        "Burn-rate alerts fired since startup",
+    )
+    for tenant in sorted(slo):
+        state = slo[tenant]
+        target.add(state.get("latency_target_s", 0.0), tenant=tenant)
+        objective.add(state.get("objective", 0.0), tenant=tenant)
+        burning.add(1 if state.get("burning") else 0, tenant=tenant)
+        alerts.add(state.get("alerts", 0), tenant=tenant)
+        for label, window in (state.get("windows") or {}).items():
+            burn.add(window.get("burn_rate", 0.0), tenant=tenant,
+                     window=label)
+            error_rate.add(window.get("error_rate", 0.0), tenant=tenant,
+                           window=label)
+    return [target, objective, burn, error_rate, burning, alerts]
+
+
 class PrometheusSink(Sink):
     """Aggregates counter/gauge telemetry events into a scrapeable page.
 

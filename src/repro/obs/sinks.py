@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import json
 import logging
-from typing import Any, Dict, List, Optional
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.obs.bus import Sink, TelemetryEvent
 
@@ -19,17 +21,57 @@ class LoggingSink(Sink):
 
     The line is ``<name> <kind> value=<v> <k>=<v>...`` with attribute keys
     sorted — grep-friendly and stable for log-based assertions.
+
+    *max_per_second* caps the log rate with a token bucket (burst = one
+    second's allowance) so a hot telemetry source can't flood the log of a
+    long-running service; suppressed events are counted and reported in a
+    ``...suppressed N events...`` line when output resumes.
     """
 
     def __init__(
         self,
         logger: Optional[logging.Logger] = None,
         level: int = logging.INFO,
+        max_per_second: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
+        if max_per_second is not None and max_per_second <= 0:
+            raise ValueError(
+                f"max_per_second must be positive, got {max_per_second}"
+            )
         self._logger = logger or logging.getLogger("repro.obs")
         self._level = level
+        self._rate = max_per_second
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = max_per_second if max_per_second is not None else 0.0
+        self._last_refill = self._clock()
+        self.suppressed = 0
+
+    def _admit(self) -> bool:
+        if self._rate is None:
+            return True
+        now = self._clock()
+        self._tokens = min(
+            self._rate, self._tokens + (now - self._last_refill) * self._rate
+        )
+        self._last_refill = now
+        if self._tokens < 1.0:
+            self.suppressed += 1
+            return False
+        self._tokens -= 1.0
+        if self.suppressed:
+            self._logger.log(
+                self._level,
+                "...suppressed %d events (rate limit %g/s)...",
+                self.suppressed,
+                self._rate,
+            )
+            self.suppressed = 0
+        return True
 
     def emit(self, event: TelemetryEvent) -> None:
+        if not self._admit():
+            return
         parts = [event.name, event.kind]
         if event.value is not None:
             parts.append(f"value={event.value:g}")
@@ -39,12 +81,29 @@ class LoggingSink(Sink):
 
 
 class MemorySink(Sink):
-    """Keeps every event in a list (tests and interactive inspection)."""
+    """Keeps events in memory (tests and interactive inspection).
 
-    def __init__(self) -> None:
-        self.events: List[TelemetryEvent] = []
+    *max_events* bounds the buffer: when full, the oldest event is
+    dropped and :attr:`dropped` counts how many were lost, so a sink left
+    attached to a long-running service holds steady memory.  Unbounded by
+    default — short-lived tests want every event.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError(
+                f"max_events must be positive, got {max_events}"
+            )
+        self.max_events = max_events
+        self.events: Deque[TelemetryEvent] = deque(maxlen=max_events)
+        self.dropped = 0
 
     def emit(self, event: TelemetryEvent) -> None:
+        if (
+            self.max_events is not None
+            and len(self.events) == self.max_events
+        ):
+            self.dropped += 1
         self.events.append(event)
 
     def named(self, name: str) -> List[TelemetryEvent]:
@@ -52,6 +111,7 @@ class MemorySink(Sink):
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.events)

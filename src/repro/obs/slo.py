@@ -1,0 +1,271 @@
+"""Per-tenant latency SLOs with multi-window error-budget burn-rate alerts.
+
+An :class:`SLOSpec` declares the objective: "*objective* of tenant X's
+queries finish within *latency_target_s*".  The error budget is
+``1 - objective``; the **burn rate** over a window is the window's error
+rate divided by that budget — burn 1.0 means the budget is being spent
+exactly as fast as it accrues, burn 14.4 (the classic fast-burn page
+threshold) means a 30-day budget is gone in ~2 days.
+
+:class:`SLOTracker` keeps a sliding event window per tenant and computes
+the burn over a *short* and a *long* window (default 5 minutes / 1 hour).
+An alert fires only when **both** windows exceed the threshold — the long
+window proves sustained damage, the short window proves it is still
+happening (so alerts reset quickly after recovery).  Transitions emit
+``slo.burn_alert`` / ``slo.burn_recovered`` events on the bus.
+
+The clock is injectable (``clock=`` a callable returning seconds) so tests
+and simulations can replay hours of traffic instantly; by default
+``time.monotonic`` is used.
+
+Layering: pure stdlib + :mod:`repro.obs.bus`.  Never imports ``core``,
+``cluster`` or ``serving`` (enforced by ``scripts/check_layers.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, Optional, Tuple
+
+from .bus import EventBus, TelemetryEvent
+
+
+def _window_label(seconds: float) -> str:
+    if seconds >= 3600 and seconds % 3600 == 0:
+        return f"{int(seconds) // 3600}h"
+    if seconds >= 60 and seconds % 60 == 0:
+        return f"{int(seconds) // 60}m"
+    return f"{seconds:g}s"
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One tenant's latency objective.
+
+    *objective* is the target good-fraction (e.g. ``0.99`` = 99% of
+    queries within *latency_target_s*); shed, timed-out and failed
+    queries always count against the budget.
+    """
+
+    tenant: str
+    latency_target_s: float
+    objective: float = 0.99
+    short_window_s: float = 300.0
+    long_window_s: float = 3600.0
+    burn_alert_threshold: float = 14.4
+
+    def __post_init__(self):
+        if not self.tenant:
+            raise ValueError("SLOSpec.tenant must be a non-empty string")
+        if self.latency_target_s <= 0:
+            raise ValueError(
+                f"latency_target_s must be positive, "
+                f"got {self.latency_target_s}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be strictly between 0 and 1, "
+                f"got {self.objective}"
+            )
+        if self.short_window_s <= 0 or self.long_window_s <= 0:
+            raise ValueError("SLO windows must be positive")
+        if self.short_window_s > self.long_window_s:
+            raise ValueError(
+                f"short window ({self.short_window_s}s) must not exceed "
+                f"long window ({self.long_window_s}s)"
+            )
+        if self.burn_alert_threshold <= 0:
+            raise ValueError("burn_alert_threshold must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    @property
+    def windows(self) -> Tuple[float, float]:
+        return (self.short_window_s, self.long_window_s)
+
+
+class _TenantWindow:
+    """Sliding (timestamp, good) log plus current alert state."""
+
+    __slots__ = ("spec", "events", "burning", "alerts")
+
+    def __init__(self, spec: SLOSpec):
+        self.spec = spec
+        self.events: Deque[Tuple[float, bool]] = deque()
+        self.burning = False
+        self.alerts = 0
+
+
+class SLOTracker:
+    """Tracks burn rates for a set of :class:`SLOSpec` (thread-safe).
+
+    Tenants without a spec are ignored: :meth:`record` is a no-op for
+    them, keeping the hot path free when SLOs are not configured.
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[SLOSpec] = (),
+        clock: Optional[Callable[[], float]] = None,
+        bus: Optional[EventBus] = None,
+    ):
+        self._clock = clock if clock is not None else time.monotonic
+        self.bus = bus
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantWindow] = {}
+        for spec in specs:
+            if spec.tenant in self._tenants:
+                raise ValueError(
+                    f"duplicate SLOSpec for tenant {spec.tenant!r}"
+                )
+            self._tenants[spec.tenant] = _TenantWindow(spec)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._tenants)
+
+    def specs(self) -> Tuple[SLOSpec, ...]:
+        return tuple(w.spec for w in self._tenants.values())
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        tenant: str,
+        latency_seconds: Optional[float] = None,
+        ok: Optional[bool] = None,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Record one query outcome; returns the tenant's burning state.
+
+        Pass *latency_seconds* for served queries (good iff within the
+        target) or ``ok=False`` for shed/timeout/failure outcomes.  *now*
+        overrides the tracker clock for replay-style tests.
+        """
+        window = self._tenants.get(tenant)
+        if window is None:
+            return False
+        ts = self._clock() if now is None else now
+        if ok is None:
+            good = (
+                latency_seconds is not None
+                and latency_seconds <= window.spec.latency_target_s
+            )
+        else:
+            good = bool(ok)
+        event: Optional[TelemetryEvent] = None
+        with self._lock:
+            window.events.append((ts, good))
+            self._prune(window, ts)
+            burning = self._is_burning(window, ts)
+            if burning and not window.burning:
+                window.alerts += 1
+                event = self._alert_event(window, ts, "slo.burn_alert")
+            elif window.burning and not burning:
+                event = self._alert_event(window, ts, "slo.burn_recovered")
+            window.burning = burning
+        if event is not None and self.bus is not None:
+            self.bus.emit(event)
+        return burning
+
+    # -- math (call with lock held) ----------------------------------------
+
+    @staticmethod
+    def _prune(window: _TenantWindow, now: float) -> None:
+        horizon = now - window.spec.long_window_s
+        events = window.events
+        while events and events[0][0] < horizon:
+            events.popleft()
+
+    @staticmethod
+    def _burn_rates(window: _TenantWindow, now: float) -> Dict[str, Dict[str, float]]:
+        spec = window.spec
+        out: Dict[str, Dict[str, float]] = {}
+        for seconds in spec.windows:
+            horizon = now - seconds
+            total = bad = 0
+            for ts, good in window.events:
+                if ts >= horizon:
+                    total += 1
+                    if not good:
+                        bad += 1
+            error_rate = bad / total if total else 0.0
+            out[_window_label(seconds)] = {
+                "window_seconds": seconds,
+                "total": total,
+                "bad": bad,
+                "error_rate": error_rate,
+                "burn_rate": error_rate / spec.error_budget,
+            }
+        return out
+
+    def _is_burning(self, window: _TenantWindow, now: float) -> bool:
+        rates = self._burn_rates(window, now)
+        threshold = window.spec.burn_alert_threshold
+        return all(
+            r["total"] > 0 and r["burn_rate"] >= threshold
+            for r in rates.values()
+        )
+
+    def _alert_event(
+        self, window: _TenantWindow, now: float, name: str
+    ) -> TelemetryEvent:
+        spec = window.spec
+        rates = self._burn_rates(window, now)
+        attrs = {
+            "tenant": spec.tenant,
+            "latency_target_s": spec.latency_target_s,
+            "objective": spec.objective,
+            "threshold": spec.burn_alert_threshold,
+        }
+        for label, r in rates.items():
+            attrs[f"burn_{label}"] = r["burn_rate"]
+        long_label = _window_label(spec.long_window_s)
+        return TelemetryEvent(
+            name=name,
+            kind="event",
+            value=rates[long_label]["burn_rate"],
+            attrs=attrs,
+        )
+
+    # -- reading -----------------------------------------------------------
+
+    def burning(self, tenant: str) -> bool:
+        window = self._tenants.get(tenant)
+        if window is None:
+            return False
+        with self._lock:
+            return window.burning
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Dict[str, object]]:
+        """Per-tenant burn state (feeds ``status()["slo"]`` and Prometheus)."""
+        ts = self._clock() if now is None else now
+        snap: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            for tenant, window in sorted(self._tenants.items()):
+                self._prune(window, ts)
+                spec = window.spec
+                snap[tenant] = {
+                    "latency_target_s": spec.latency_target_s,
+                    "objective": spec.objective,
+                    "error_budget": spec.error_budget,
+                    "threshold": spec.burn_alert_threshold,
+                    "burning": window.burning,
+                    "alerts": window.alerts,
+                    "windows": self._burn_rates(window, ts),
+                }
+        return snap
+
+    def __repr__(self) -> str:
+        with self._lock:
+            burning = sorted(
+                t for t, w in self._tenants.items() if w.burning
+            )
+        return (
+            f"SLOTracker(tenants={len(self._tenants)}, burning={burning})"
+        )

@@ -40,14 +40,22 @@ from typing import Dict, Optional
 class _Inflight:
     """One executing result key: the owner's promise to its waiters."""
 
-    __slots__ = ("cond", "done", "failed", "result", "waiters")
+    __slots__ = (
+        "cond", "done", "failed", "result", "waiters",
+        "owner_tenant", "usage",
+    )
 
-    def __init__(self, lock: threading.Lock):
+    def __init__(self, lock: threading.Lock, owner_tenant: Optional[str] = None):
         self.cond = threading.Condition(lock)
         self.done = False
         self.failed = False
         self.result: object = None
         self.waiters = 0
+        #: Accounting: which tenant's execution waiters adopt, and the
+        #: resource usage the owner published with the result (for CSE
+        #: cost-share transfers in the tenant ledgers).
+        self.owner_tenant = owner_tenant
+        self.usage: object = None
 
 
 class SubplanLease:
@@ -63,6 +71,19 @@ class SubplanLease:
     def __init__(self, owner: bool, entry: Optional[_Inflight]):
         self.owner = owner
         self._entry = entry
+
+    @property
+    def owner_tenant(self) -> Optional[str]:
+        """Tenant whose execution this lease waits on (``None`` as owner)."""
+        entry = self._entry
+        return entry.owner_tenant if entry is not None else None
+
+    @property
+    def usage(self) -> object:
+        """Resource usage the owner published with its result (read after
+        a successful :meth:`wait`; feeds CSE cost-share accounting)."""
+        entry = self._entry
+        return entry.usage if entry is not None else None
 
     def wait(self, timeout: Optional[float] = None) -> Optional[object]:
         """Block until the owner publishes; the adopted result, or ``None``
@@ -96,23 +117,27 @@ class SubplanIndex:
 
     # -- dispatch-path API -------------------------------------------------
 
-    def lease(self, key: object) -> SubplanLease:
+    def lease(self, key: object, tenant: Optional[str] = None) -> SubplanLease:
         """Claim *key*: ownership when nobody is executing it, a waiter
-        handle otherwise."""
+        handle otherwise.  *tenant* labels the owning execution so
+        adopters can be cost-shared against the right ledger."""
         if not self.enabled:
             return SubplanLease(True, None)
         with self._lock:
             entry = self._inflight.get(key)
             if entry is None:
-                entry = _Inflight(self._lock)
+                entry = _Inflight(self._lock, owner_tenant=tenant)
                 self._inflight[key] = entry
                 self._executed += 1
                 return SubplanLease(True, entry)
             entry.waiters += 1
             return SubplanLease(False, entry)
 
-    def complete(self, key: object, result: object) -> None:
-        """Owner succeeded: publish *result* to waiters, retire the entry."""
+    def complete(
+        self, key: object, result: object, usage: object = None
+    ) -> None:
+        """Owner succeeded: publish *result* (and optionally its resource
+        *usage*, for accounting) to waiters, retire the entry."""
         if not self.enabled:
             return
         with self._lock:
@@ -121,6 +146,7 @@ class SubplanIndex:
                 return
             entry.done = True
             entry.result = result
+            entry.usage = usage
             self._hits += entry.waiters
             entry.cond.notify_all()
 

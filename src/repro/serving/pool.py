@@ -63,9 +63,33 @@ from repro.serving.ticket import QueryTicket, ServedResult
 
 if TYPE_CHECKING:
     from repro.execution import Engine
+    from repro.obs.accounting import ResourceAccountant
+    from repro.obs.slo import SLOTracker
     from repro.serving.metrics import ServiceMetrics
 
 logger = logging.getLogger("repro.serving")
+
+
+def _result_usage(result, cluster_config) -> Dict[str, float]:
+    """An execution's resource usage in ledger dimensions.
+
+    Modeled seconds / shuffled bytes / flops are the per-query metric
+    delta verbatim (so ledgers sum to cluster totals); the compute and
+    network second splits derive from the configured bandwidths — the same
+    denominators the CFO cost model charges against.
+    """
+    metrics = result.metrics
+    comm = float(metrics.comm_bytes)
+    flops = float(metrics.flops)
+    return {
+        "modeled_seconds": float(metrics.elapsed_seconds),
+        "compute_seconds": flops / (
+            cluster_config.compute_bandwidth * cluster_config.num_nodes
+        ),
+        "network_seconds": comm / cluster_config.network_bandwidth,
+        "shuffled_bytes": comm,
+        "flops": flops,
+    }
 
 
 def split_budget(total: int, parts: int) -> List[int]:
@@ -106,6 +130,8 @@ class EngineReplica:
         cluster: Optional[SimulatedCluster] = None,
         on_complete: Optional[Callable[[], None]] = None,
         subplans: Optional[SubplanIndex] = None,
+        accountant: Optional["ResourceAccountant"] = None,
+        slo: Optional["SLOTracker"] = None,
     ):
         self.index = index
         self.name = f"replica-{index}"
@@ -117,6 +143,9 @@ class EngineReplica:
         # service-wide in-flight subplan registry (cross-query CSE); a
         # standalone replica gets a disabled index and dispatches as before
         self.subplans = subplans or SubplanIndex(enabled=False)
+        # observability plane (both optional and strictly observational)
+        self.accountant = accountant
+        self.slo = slo
         self._on_complete = on_complete
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -203,6 +232,17 @@ class EngineReplica:
                 # serializes cluster-stage accounting inside
                 parallel_map(self._run_one, wave, self.config.max_concurrency)
 
+    def _trace_instant(self, name: str, **attrs) -> None:
+        """Drop a trace instant on this replica's cluster timeline."""
+        trace = self.cluster.trace
+        if trace is not None:
+            trace.instant(
+                name, "cse",
+                ts=self.cluster.metrics.elapsed_seconds,
+                replica=self.name,
+                **attrs,
+            )
+
     def _run_one(self, ticket: QueryTicket) -> None:
         started = time.monotonic()
         queue_seconds = started - ticket.enqueued_at
@@ -215,6 +255,9 @@ class EngineReplica:
             )
             cached = self.result_cache.get(key)
             cse_hit = False
+            adopted_from: Optional[str] = None
+            adopted_usage = None
+            usage = None
             if cached is not None:
                 result, from_cache = cached, True
             else:
@@ -223,11 +266,28 @@ class EngineReplica:
                 # cross-query CSE: adopt the in-flight owner's result when
                 # another query with this exact key is already executing
                 # (deterministic execution makes the adoption bit-identical)
-                lease = self.subplans.lease(key)
+                lease = self.subplans.lease(key, ticket.tenant)
                 if not lease.owner:
                     result = lease.wait()
                     cse_hit = result is not None
+                    if cse_hit:
+                        adopted_from = lease.owner_tenant
+                        adopted_usage = lease.usage
+                        self._trace_instant(
+                            "cse:adopt",
+                            tenant=ticket.tenant,
+                            owner=adopted_from or "?",
+                        )
+                    else:
+                        # owner failed or wait timed out: demoted to solo
+                        self._trace_instant(
+                            "cse:demote", tenant=ticket.tenant
+                        )
                 if result is None:
+                    if lease.owner and self.subplans.enabled:
+                        self._trace_instant(
+                            "cse:owner", tenant=ticket.tenant
+                        )
                     try:
                         result = self.engine.execute(
                             ticket.dag, ticket.bound, cluster=self.cluster
@@ -236,9 +296,10 @@ class EngineReplica:
                         if lease.owner:
                             self.subplans.fail(key)
                         raise
+                    usage = _result_usage(result, self.engine.config.cluster)
                     self.result_cache.put(key, result, pins=ticket.bound)
                     if lease.owner:
-                        self.subplans.complete(key, result)
+                        self.subplans.complete(key, result, usage=usage)
             total = time.monotonic() - ticket.enqueued_at
             served = ServedResult(
                 query_id=ticket.query_id,
@@ -249,10 +310,28 @@ class EngineReplica:
                 service_seconds=total,
                 replica=self.name,
             )
+            profile = getattr(result, "profile", None)
+            if profile is not None and profile.span is not None:
+                # label the query's span tree with the replica that served
+                # it (first server wins for shared cached/adopted results)
+                profile.span.attrs.setdefault("replica", self.name)
             self.metrics.record_served(
                 ticket.tenant, from_cache,
                 queue_seconds=queue_seconds, total_seconds=total,
             )
+            if self.accountant is not None:
+                if cse_hit:
+                    self.accountant.charge_adoption(
+                        ticket.tenant, adopted_from, adopted_usage,
+                        wall_seconds=total,
+                    )
+                else:
+                    self.accountant.charge_query(
+                        ticket.tenant, usage=usage,
+                        wall_seconds=total, from_cache=from_cache,
+                    )
+            if self.slo is not None:
+                self.slo.record(ticket.tenant, latency_seconds=total)
             with self._lock:
                 self.served += 1
                 if from_cache:
@@ -262,6 +341,10 @@ class EngineReplica:
             ticket._resolve(served)
         except Exception as exc:  # noqa: BLE001 - failures belong to the ticket
             self.metrics.record_failed(ticket.tenant)
+            if self.accountant is not None:
+                self.accountant.record_failed(ticket.tenant)
+            if self.slo is not None:
+                self.slo.record(ticket.tenant, ok=False)
             with self._lock:
                 self.failed += 1
             ticket._fail(exc)
@@ -275,6 +358,10 @@ class EngineReplica:
     def _expire_ticket(self, ticket: QueryTicket) -> None:
         waited = time.monotonic() - ticket.enqueued_at
         self.metrics.record_timed_out(ticket.tenant)
+        if self.accountant is not None:
+            self.accountant.record_timed_out(ticket.tenant)
+        if self.slo is not None:
+            self.slo.record(ticket.tenant, ok=False)
         with self._lock:
             self.timed_out += 1
         ticket._fail(QueryTimeoutError(
@@ -326,6 +413,10 @@ class EngineReplica:
                 self._cond.notify_all()
             for ticket in leftovers:
                 self.metrics.record_shed(ticket.tenant)
+                if self.accountant is not None:
+                    self.accountant.record_shed(ticket.tenant)
+                if self.slo is not None:
+                    self.slo.record(ticket.tenant, ok=False)
                 ticket._fail(ServiceOverloadedError(
                     f"query {ticket.query_id} dropped: service shutting down"
                 ))
@@ -362,6 +453,8 @@ class ReplicaPool:
         cluster: Optional[SimulatedCluster] = None,
         on_complete: Optional[Callable[[], None]] = None,
         subplans: Optional[SubplanIndex] = None,
+        accountant: Optional["ResourceAccountant"] = None,
+        slo: Optional["SLOTracker"] = None,
     ):
         self.config = config
         self.result_cache = result_cache
@@ -373,6 +466,10 @@ class ReplicaPool:
             if subplans is not None
             else SubplanIndex(enabled=config.cross_query_cse)
         )
+        # shared observability plane: one ledger book and one SLO tracker
+        # no matter how many replicas serve the tenants
+        self.accountant = accountant
+        self.slo = slo
         self.calibration = engine.calibration
         self.total_memory_budget = memory_budget
         self._on_complete = on_complete
@@ -451,6 +548,8 @@ class ReplicaPool:
             cluster=cluster,
             on_complete=self._on_complete,
             subplans=self.subplans,
+            accountant=self.accountant,
+            slo=self.slo,
         )
         self.calibration.register_client(replica.name)
         return replica

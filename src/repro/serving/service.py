@@ -41,6 +41,7 @@ after the configured wait.
 from __future__ import annotations
 
 import itertools
+import json
 import logging
 import threading
 import time
@@ -57,6 +58,8 @@ from repro.errors import (
 from repro.execution import Engine, Query, as_dag
 from repro.matrix.distributed import BlockedMatrix
 from repro.obs import QueryProfile
+from repro.obs.accounting import ResourceAccountant
+from repro.obs.httpd import MetricsHTTPServer
 from repro.obs.prometheus import (
     cache_families,
     calibration_families,
@@ -64,7 +67,10 @@ from repro.obs.prometheus import (
     render_exposition,
     replica_families,
     serving_families,
+    slo_families,
+    tenant_families,
 )
+from repro.obs.slo import SLOTracker
 from repro.serving.admission import estimate_query_bytes
 from repro.serving.metrics import ServiceMetrics
 from repro.serving.pool import EngineReplica, ReplicaPool
@@ -142,6 +148,18 @@ class MatrixService:
         self._closed = False
         self._close_lock = threading.Lock()
         self._last_logged = 0
+        # the observability plane: per-tenant chargeback ledgers and SLO
+        # burn-rate tracking — both strictly observational (nothing here is
+        # ever read back by admission, routing, planning or execution)
+        self.accountant: Optional[ResourceAccountant] = (
+            ResourceAccountant(self.config.cse_adopter_cost_share)
+            if self.config.accounting else None
+        )
+        self.slo: Optional[SLOTracker] = (
+            SLOTracker(self.config.slos, bus=self.engine.telemetry)
+            if self.config.slos else None
+        )
+        self._httpd: Optional[MetricsHTTPServer] = None
         self.pool = ReplicaPool(
             self.engine,
             self.config,
@@ -150,6 +168,8 @@ class MatrixService:
             memory_budget=budget,
             cluster=cluster,
             on_complete=self._maybe_log,
+            accountant=self.accountant,
+            slo=self.slo,
         )
 
     @property
@@ -202,6 +222,8 @@ class MatrixService:
         cost = estimate_query_bytes(dag, bound)
         ticket = QueryTicket(query_id, tenant, dag, bound, cost, priority)
         self.metrics.record_submitted(tenant)
+        if self.accountant is not None:
+            self.accountant.record_submitted(tenant)
 
         # the result cache is shared pool-wide and the planning signature
         # is identical across replica clones, so any replica's earlier
@@ -222,6 +244,15 @@ class MatrixService:
                 tenant, from_cache=True,
                 queue_seconds=0.0, total_seconds=served.service_seconds,
             )
+            if self.accountant is not None:
+                self.accountant.charge_query(
+                    tenant, wall_seconds=served.service_seconds,
+                    from_cache=True,
+                )
+            if self.slo is not None:
+                self.slo.record(
+                    tenant, latency_seconds=served.service_seconds
+                )
             ticket._resolve(served)
             self._maybe_log()
             return ticket
@@ -233,6 +264,10 @@ class MatrixService:
             replica.offer(ticket)
         except ServiceOverloadedError:
             self.metrics.record_shed(tenant)
+            if self.accountant is not None:
+                self.accountant.record_shed(tenant)
+            if self.slo is not None:
+                self.slo.record(tenant, ok=False)
             raise
         return ticket
 
@@ -339,13 +374,30 @@ class MatrixService:
             cluster=self.cluster.metrics.snapshot(),
             replicas=replicas,
         )
+        if self.accountant is not None:
+            snap["accounting"] = self.accountant.snapshot()
+        if self.slo is not None:
+            snap["slo"] = self.slo.snapshot()
         return snap
+
+    def accounting(self) -> str:
+        """The per-tenant chargeback report (see
+        :meth:`repro.obs.accounting.ResourceAccountant.render_chargeback`).
+        Raises when accounting is disabled
+        (``ServiceConfig(accounting=False)``)."""
+        if self.accountant is None:
+            raise RuntimeError(
+                "accounting is disabled; enable it with "
+                "ServiceConfig(accounting=True)"
+            )
+        return self.accountant.render_chargeback()
 
     def prometheus(self) -> str:
         """The whole service as one Prometheus text exposition page:
         engine stage totals and counters, all three cache layers,
-        per-tenant query outcomes + latency quantiles, and per-replica
-        gauges."""
+        per-tenant query outcomes + latency quantiles, per-replica gauges,
+        and — when enabled — the per-tenant accounting ledgers and SLO
+        burn rates."""
         status = self.status()
         families = engine_families(status["cluster"])
         families += cache_families({
@@ -356,7 +408,39 @@ class MatrixService:
         families += calibration_families(status["calibration"])
         families += serving_families(status)
         families += replica_families(status["replicas"])
+        if "accounting" in status:
+            families += tenant_families(status["accounting"])
+        if "slo" in status:
+            families += slo_families(status["slo"])
         return render_exposition(families)
+
+    def serve_metrics(
+        self, port: int = 0, host: str = "127.0.0.1"
+    ) -> MetricsHTTPServer:
+        """Expose ``/metrics`` (Prometheus scrape) and ``/status`` (JSON)
+        over HTTP on a daemon thread.  ``port=0`` picks an ephemeral port
+        (``server.port``/``server.url`` tell you which); the endpoint stops
+        with :meth:`close`, or earlier via ``server.close()``.  Idempotent
+        per service: a live endpoint is returned as-is."""
+        with self._lock:
+            if self._closed:
+                raise ServingError("service is closed")
+            if self._httpd is None:
+                self._httpd = MetricsHTTPServer(
+                    {
+                        "/metrics": lambda: (
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            self.prometheus(),
+                        ),
+                        "/status": lambda: (
+                            "application/json",
+                            json.dumps(self.status(), default=str),
+                        ),
+                    },
+                    host=host,
+                    port=port,
+                )
+            return self._httpd
 
     def _maybe_log(self) -> None:
         every = self.config.log_every
@@ -392,6 +476,9 @@ class MatrixService:
         with self._close_lock:
             with self._lock:
                 self._closed = True
+                httpd, self._httpd = self._httpd, None
+            if httpd is not None:
+                httpd.close()
             self.pool.close(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "MatrixService":

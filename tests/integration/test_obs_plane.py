@@ -1,0 +1,452 @@
+"""The service observability plane, end to end (DESIGN.md §16).
+
+Four contracts:
+
+* **cross-process trace propagation** — on the process execution backend,
+  a GNMF query's span tree carries a worker-side span (pid, kernel clock,
+  shared-memory traffic) for every unit dispatched to the pool, and
+  ``UnitProfile.measured_wall_seconds`` comes from the worker's own clock;
+* **strictly observational** — accounting + SLO tracking enabled change
+  neither outputs (bit-identical) nor modeled metrics;
+* **conservation** — per-tenant ledgers sum exactly to the cluster-level
+  :class:`~repro.cluster.metrics.MetricsCollector` totals, and CSE
+  adoption redistributes charges without creating or destroying cost;
+* **alerting** — an induced latency regression flips the burn-rate alert
+  on the bus, in ``status()["slo"]``, and on a real HTTP ``/metrics``
+  scrape.
+"""
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+import warnings
+
+import pytest
+
+import repro.core.procexec as procexec
+from repro import FuseMEEngine, MatrixService, ServiceConfig
+from repro.cluster.procpool.testing import crash_task
+from repro.execution import as_dag
+from repro.lang import matrix_input, sq, sum_of
+from repro.matrix import rand_dense, rand_sparse
+from repro.obs import MemorySink, SLOSpec
+from repro.obs.accounting import RESOURCE_FIELDS
+from repro.obs.prometheus import validate_exposition
+from repro.serving.result_cache import result_key
+from repro.workloads.gnmf import gnmf_updates
+
+from tests.conftest import make_config
+
+BS = 20
+
+
+@pytest.fixture(scope="module")
+def workload():
+    q = gnmf_updates(100, 80, 20, density=0.2, block_size=BS)
+    inputs = {
+        "X": rand_sparse(100, 80, density=0.2, block_size=BS, seed=11),
+        "U": rand_dense(20, 80, BS, seed=12, low=0.1, high=1.0),
+        "V": rand_dense(100, 20, BS, seed=13, low=0.1, high=1.0),
+    }
+    return [q.u_update, q.v_update], inputs
+
+
+def tenant_query(seed: int):
+    """A per-tenant query whose shape depends on *seed* (no cross-tenant
+    result-cache or CSE sharing)."""
+    rows = 60 + 5 * seed
+    a = matrix_input("A", rows, 40, BS)
+    b = matrix_input("B", 40, rows, BS)
+    query = sum_of(sq(a @ b))
+    inputs = {
+        "A": rand_dense(rows, 40, BS, seed=seed),
+        "B": rand_dense(40, rows, BS, seed=seed + 100),
+    }
+    return query, inputs
+
+
+def wait_for_running(service, deadline=5.0):
+    for _ in range(int(deadline / 0.01)):
+        if service.pool.running:
+            return
+        time.sleep(0.01)
+    raise AssertionError("dispatcher never picked the ticket up")
+
+
+# -- cross-process trace propagation ----------------------------------------
+
+
+class TestWorkerSpans:
+    def test_process_backend_spans_carry_worker_pids(self, workload):
+        query, inputs = workload
+        engine = FuseMEEngine(make_config(
+            block_size=BS, local_parallelism=2, execution_backend="process",
+        ))
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                profile = engine.profile(query, inputs)
+        finally:
+            engine.close()
+
+        worker_spans = [
+            s for s in profile.span.walk() if s.category == "worker"
+        ]
+        # the two-root GNMF update dispatches multi-unit waves to the pool
+        assert len(worker_spans) >= 2
+        driver_pid = os.getpid()
+        for span in worker_spans:
+            assert span.attrs["pid"] > 0
+            assert span.attrs["pid"] != driver_pid
+            assert span.attrs["kernel_seconds"] >= 0.0
+            assert span.attrs["shm_read_bytes"] > 0
+            assert span.attrs["shm_write_bytes"] > 0
+
+    def test_worker_span_anchored_inside_unit_dispatch_window(self, workload):
+        query, inputs = workload
+        engine = FuseMEEngine(make_config(
+            block_size=BS, local_parallelism=2, execution_backend="process",
+        ))
+        try:
+            profile = engine.profile(query, inputs)
+        finally:
+            engine.close()
+        by_index = {u.index: u for u in profile.units}
+        seen = 0
+        for unit_span in profile.span.walk():
+            if unit_span.category != "unit":
+                continue
+            workers = [c for c in unit_span.children if c.category == "worker"]
+            if not workers:
+                continue
+            seen += 1
+            (worker,) = workers
+            assert worker.wall_start >= unit_span.wall_start
+            assert worker.wall_end <= unit_span.wall_end
+            # measured_wall_seconds comes from the worker's clock, which is
+            # exactly the duration the grafted child span covers
+            index = int(unit_span.name[len("unit["):-1])
+            measured = by_index[index].measured_wall_seconds
+            assert measured is not None and measured > 0.0
+            assert worker.wall_seconds == pytest.approx(measured, abs=1e-9)
+        assert seen >= 2
+
+    def test_thread_backend_has_no_worker_spans(self, workload):
+        query, inputs = workload
+        profile = FuseMEEngine(make_config(block_size=BS)).profile(
+            query, inputs
+        )
+        assert not [
+            s for s in profile.span.walk() if s.category == "worker"
+        ]
+
+    def test_fallback_event_names_worker_pid_and_task(
+        self, workload, monkeypatch
+    ):
+        query, inputs = workload
+        engine = FuseMEEngine(make_config(
+            block_size=BS, local_parallelism=2, execution_backend="process",
+        ))
+        sink = engine.telemetry.attach(MemorySink())
+        monkeypatch.setattr(procexec, "_UNIT_TASK_FN", crash_task)
+        try:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                engine.execute(query, inputs)
+        finally:
+            engine.close()
+        events = sink.named("procpool.fallback")
+        assert events
+        attrs = events[0].attrs
+        assert attrs["engine"] == "FuseME"
+        assert "died" in attrs["reason"]
+        assert attrs["worker_pid"] > 0
+        assert attrs["worker_pid"] != os.getpid()
+        assert attrs["task"]  # the demoted unit's label
+
+
+# -- the plane is strictly observational ------------------------------------
+
+
+class TestObservational:
+    def test_plane_enabled_is_bit_identical(self, workload):
+        query, inputs = workload
+        baseline = FuseMEEngine(make_config(block_size=BS)).execute(
+            query, inputs
+        )
+
+        config = ServiceConfig(
+            accounting=True,
+            slos=(SLOSpec(tenant="alice", latency_target_s=30.0),),
+        )
+        engine = FuseMEEngine(make_config(block_size=BS))
+        engine.telemetry.attach(MemorySink())
+        with MatrixService(engine, config) as service:
+            session = service.open_session("alice")
+            for name, matrix in inputs.items():
+                session.bind(name, matrix)
+            served = session.execute(query, timeout=60)
+
+        for root_b, root_s in zip(
+            baseline.dag.roots, served.result.dag.roots
+        ):
+            assert (
+                baseline.outputs[root_b].to_numpy().tobytes()
+                == served.result.outputs[root_s].to_numpy().tobytes()
+            )
+        assert baseline.metrics.totals() == served.result.metrics.totals()
+
+
+# -- conservation: ledgers vs cluster totals --------------------------------
+
+
+class TestConservation:
+    def test_three_tenant_ledgers_sum_to_cluster_totals(self):
+        """With CSE off, every tenant's raw usage is exactly the modeled
+        resources of the executions run for it — so summed over tenants
+        the ledgers reproduce the cluster-level MetricsCollector totals."""
+        config = ServiceConfig(accounting=True, num_replicas=2)
+        engine = FuseMEEngine(make_config(block_size=BS))
+        with MatrixService(engine, config) as service:
+            for i, tenant in enumerate(("alice", "bob", "carol")):
+                query, inputs = tenant_query(i)
+                session = service.open_session(tenant)
+                for name, matrix in inputs.items():
+                    session.bind(name, matrix)
+                first = session.execute(query, timeout=60)
+                again = session.execute(query, timeout=60)  # cache hit
+                assert not first.from_cache and again.from_cache
+            snap = service.accountant.snapshot()
+            clusters = {
+                id(r.cluster): r.cluster for r in service.pool.replicas
+            }.values()
+
+        usage_seconds = sum(
+            t["usage"]["modeled_seconds"] for t in snap["tenants"].values()
+        )
+        usage_bytes = sum(
+            t["usage"]["shuffled_bytes"] for t in snap["tenants"].values()
+        )
+        usage_flops = sum(
+            t["usage"]["flops"] for t in snap["tenants"].values()
+        )
+        assert usage_seconds == pytest.approx(
+            sum(c.metrics.elapsed_seconds for c in clusters)
+        )
+        assert usage_bytes == sum(c.metrics.comm_bytes for c in clusters)
+        assert usage_flops == sum(c.metrics.flops for c in clusters)
+        # charged == usage per dimension (nothing created or destroyed)
+        totals = snap["totals"]
+        for name in RESOURCE_FIELDS:
+            assert totals["charged"][name] == pytest.approx(
+                totals["usage"][name]
+            )
+        # cache hits were counted but charged no usage
+        assert totals["cache_hits"] == 3 and totals["served"] == 6
+
+    def test_cse_adoption_charges_share_to_adopter(self, workload):
+        """An adopted in-flight result moves ``cse_adopter_cost_share`` of
+        the owner's charged cost onto the adopter's ledger."""
+        query, inputs = workload
+        config = ServiceConfig(
+            cross_query_cse=True,
+            result_cache_entries=0,  # force bob through the CSE index
+            accounting=True,
+            cse_adopter_cost_share=0.5,
+        )
+        engine = FuseMEEngine(make_config(block_size=BS))
+        with MatrixService(engine, config) as service:
+            alice = service.open_session("alice")
+            for name, matrix in inputs.items():
+                alice.bind(name, matrix)
+            owned = alice.execute(query, timeout=60)
+            alice_usage = service.accountant.snapshot()["tenants"]["alice"]
+            modeled = alice_usage["usage"]["modeled_seconds"]
+            assert modeled > 0.0
+
+            key = result_key(
+                service.engine.planning_signature(), as_dag(query), inputs
+            )
+            lease = service.pool.subplans.lease(key, "alice")
+            assert lease.owner
+            bob = service.open_session("bob")
+            for name, matrix in inputs.items():
+                bob.bind(name, matrix)
+            ticket = bob.submit(query)
+            wait_for_running(service)
+            service.pool.subplans.complete(
+                key, owned.result,
+                usage={"modeled_seconds": modeled},
+            )
+            served = ticket.result(timeout=30)
+            assert served.result is owned.result  # adopted verbatim
+
+            tenants = service.accountant.snapshot()["tenants"]
+            assert tenants["bob"]["cse_adoptions"] == 1
+            assert tenants["bob"]["usage"]["modeled_seconds"] == 0.0
+            assert tenants["bob"]["charged"]["modeled_seconds"] == (
+                pytest.approx(0.5 * modeled)
+            )
+            assert tenants["alice"]["charged"]["modeled_seconds"] == (
+                pytest.approx(0.5 * modeled)
+            )
+            assert tenants["alice"]["cse_credited_seconds"] == (
+                pytest.approx(tenants["bob"]["cse_charged_seconds"])
+            )
+            report = service.accounting()
+            assert "alice" in report and "bob" in report
+
+    def test_accounting_disabled(self, workload):
+        query, inputs = workload
+        engine = FuseMEEngine(make_config(block_size=BS))
+        with MatrixService(
+            engine, ServiceConfig(accounting=False)
+        ) as service:
+            assert service.accountant is None
+            with pytest.raises(RuntimeError, match="accounting"):
+                service.accounting()
+            assert "accounting" not in service.status()
+
+
+# -- CSE / plan-cache trace instants ----------------------------------------
+
+
+class TestTraceInstants:
+    def test_cse_owner_and_adopt_instants_on_cluster_trace(self, workload):
+        query, inputs = workload
+        config = ServiceConfig(
+            cross_query_cse=True, result_cache_entries=0
+        )
+        engine = FuseMEEngine(
+            make_config(block_size=BS, time_model="scheduled")
+        )
+        with MatrixService(engine, config) as service:
+            alice = service.open_session("alice")
+            for name, matrix in inputs.items():
+                alice.bind(name, matrix)
+            owned = alice.execute(query, timeout=60)
+
+            key = result_key(
+                service.engine.planning_signature(), as_dag(query), inputs
+            )
+            service.pool.subplans.lease(key, "alice")
+            bob = service.open_session("bob")
+            for name, matrix in inputs.items():
+                bob.bind(name, matrix)
+            ticket = bob.submit(query)
+            wait_for_running(service)
+            service.pool.subplans.complete(key, owned.result)
+            ticket.result(timeout=30)
+
+            names = [
+                e.name for e in service.pool.replicas[0].cluster.trace.events
+                if e.category == "cse"
+            ]
+        assert "cse:owner" in names  # alice executed as the key's owner
+        assert "cse:adopt" in names  # bob adopted her in-flight result
+
+
+# -- SLO burn-rate alerting --------------------------------------------------
+
+
+class TestSLOAlerting:
+    def test_latency_regression_flips_alert_everywhere(self, workload):
+        """A latency target no real query can meet is the induced
+        regression: the alert must show up on the bus, in ``status()``,
+        and on a real HTTP scrape of ``/metrics``."""
+        query, inputs = workload
+        config = ServiceConfig(
+            accounting=True,
+            slos=(SLOSpec(
+                tenant="alice",
+                latency_target_s=1e-9,
+                objective=0.5,
+                burn_alert_threshold=1.5,
+            ),),
+        )
+        engine = FuseMEEngine(make_config(block_size=BS))
+        sink = engine.telemetry.attach(MemorySink())
+        with MatrixService(engine, config) as service:
+            session = service.open_session("alice")
+            for name, matrix in inputs.items():
+                session.bind(name, matrix)
+            for _ in range(3):
+                session.execute(query, timeout=60)
+
+            # 1. the bus
+            alerts = sink.named("slo.burn_alert")
+            assert len(alerts) == 1
+            assert alerts[0].attrs["tenant"] == "alice"
+            assert alerts[0].value >= 1.5
+            # 2. status()
+            state = service.status()["slo"]["alice"]
+            assert state["burning"] is True and state["alerts"] == 1
+            # 3. a real scrape over HTTP
+            server = service.serve_metrics()
+            assert service.serve_metrics() is server  # idempotent
+            with urllib.request.urlopen(server.url + "/metrics") as resp:
+                page = resp.read().decode("utf-8")
+            assert validate_exposition(page) > 0
+            assert 'repro_slo_burning{tenant="alice"} 1' in page
+            with urllib.request.urlopen(server.url + "/status") as resp:
+                doc = json.loads(resp.read().decode("utf-8"))
+            assert doc["slo"]["alice"]["burning"] is True
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/nope")
+            assert excinfo.value.code == 404
+        # the endpoint dies with the service
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(server.url + "/metrics", timeout=1)
+
+    def test_generous_target_never_burns(self, workload):
+        query, inputs = workload
+        config = ServiceConfig(
+            slos=(SLOSpec(tenant="alice", latency_target_s=300.0),),
+        )
+        engine = FuseMEEngine(make_config(block_size=BS))
+        sink = engine.telemetry.attach(MemorySink())
+        with MatrixService(engine, config) as service:
+            session = service.open_session("alice")
+            for name, matrix in inputs.items():
+                session.bind(name, matrix)
+            session.execute(query, timeout=60)
+            assert service.status()["slo"]["alice"]["burning"] is False
+        assert not sink.named("slo.burn_alert")
+
+
+# -- exposition round-trip ---------------------------------------------------
+
+
+class TestExposition:
+    def test_multi_replica_multi_tenant_page_validates(self):
+        config = ServiceConfig(
+            accounting=True,
+            num_replicas=2,
+            slos=(
+                SLOSpec(tenant="alice", latency_target_s=60.0),
+                SLOSpec(tenant="bob", latency_target_s=60.0),
+            ),
+        )
+        engine = FuseMEEngine(make_config(block_size=BS))
+        with MatrixService(engine, config) as service:
+            for i, tenant in enumerate(("alice", "bob", "carol")):
+                query, inputs = tenant_query(i)
+                session = service.open_session(tenant)
+                for name, matrix in inputs.items():
+                    session.bind(name, matrix)
+                session.execute(query, timeout=60)
+            page = service.prometheus()
+        assert validate_exposition(page) > 0
+        for needle in (
+            'repro_tenant_queries_total{outcome="served",tenant="alice"} 1',
+            'repro_tenant_queries_total{outcome="served",tenant="carol"} 1',
+            'repro_tenant_charged_seconds_total{resource="modeled",'
+            'tenant="bob"}',
+            'repro_tenant_cse_transfer_seconds_total{direction="credited",'
+            'tenant="alice"} 0',
+            'repro_slo_burn_rate{tenant="alice",window="5m"}',
+            'repro_slo_burning{tenant="bob"} 0',
+            'repro_slo_latency_target_seconds{tenant="alice"} 60',
+        ):
+            assert needle in page, needle

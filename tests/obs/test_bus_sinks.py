@@ -93,6 +93,29 @@ class TestMemorySink:
         sink.clear()
         assert len(sink) == 0
 
+    def test_bounded_drops_oldest_and_counts(self):
+        sink = MemorySink(max_events=3)
+        for name in "abcde":
+            sink.emit(TelemetryEvent(name))
+        assert [e.name for e in sink.events] == ["c", "d", "e"]
+        assert sink.dropped == 2
+        sink.clear()
+        assert sink.dropped == 0 and len(sink) == 0
+        sink.emit(TelemetryEvent("f"))  # capacity survives clear()
+        assert [e.name for e in sink.events] == ["f"] and sink.dropped == 0
+
+    def test_unbounded_never_drops(self):
+        sink = MemorySink()
+        for i in range(100):
+            sink.emit(TelemetryEvent(str(i)))
+        assert len(sink) == 100 and sink.dropped == 0
+
+    def test_max_events_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_events"):
+            MemorySink(max_events=0)
+
 
 class TestLoggingSink:
     def test_line_format_sorted_attrs(self, caplog):
@@ -107,6 +130,34 @@ class TestLoggingSink:
         with caplog.at_level(logging.INFO, logger="repro.obs"):
             LoggingSink().emit(TelemetryEvent("evt"))
         assert caplog.records[-1].getMessage() == "evt event"
+
+    def test_rate_limit_suppresses_then_reports(self, caplog):
+        clock = [0.0]
+        sink = LoggingSink(max_per_second=2.0, clock=lambda: clock[0])
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            for i in range(5):  # burst: 2 admitted, 3 suppressed
+                sink.emit(TelemetryEvent(f"burst{i}"))
+            assert sink.suppressed == 3
+            clock[0] = 10.0  # bucket refills; suppression is reported
+            sink.emit(TelemetryEvent("later"))
+        messages = [r.getMessage() for r in caplog.records]
+        assert messages[:2] == ["burst0 event", "burst1 event"]
+        assert "suppressed 3 events (rate limit 2/s)" in messages[2]
+        assert messages[3] == "later event"
+        assert sink.suppressed == 0
+
+    def test_unlimited_by_default(self, caplog):
+        sink = LoggingSink()
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            for i in range(20):
+                sink.emit(TelemetryEvent(str(i)))
+        assert len(caplog.records) == 20 and sink.suppressed == 0
+
+    def test_rate_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_per_second"):
+            LoggingSink(max_per_second=0.0)
 
 
 class TestJsonDumpSink:

@@ -1,0 +1,140 @@
+"""SLO burn-rate tracking: budget math, window logic, alert transitions."""
+
+import pytest
+
+from repro.obs import EventBus, MemorySink, SLOSpec, SLOTracker
+from repro.obs.slo import _window_label
+
+
+def spec(**overrides):
+    base = dict(
+        tenant="t1",
+        latency_target_s=0.5,
+        objective=0.9,
+        short_window_s=60.0,
+        long_window_s=600.0,
+        burn_alert_threshold=2.0,
+    )
+    base.update(overrides)
+    return SLOSpec(**base)
+
+
+class TestSLOSpec:
+    def test_error_budget_and_windows(self):
+        s = spec(objective=0.99)
+        assert s.error_budget == pytest.approx(0.01)
+        assert s.windows == (60.0, 600.0)
+
+    @pytest.mark.parametrize("bad", [
+        dict(tenant=""),
+        dict(latency_target_s=0.0),
+        dict(objective=1.0),
+        dict(objective=0.0),
+        dict(short_window_s=-1.0),
+        dict(short_window_s=900.0),  # exceeds long window
+        dict(burn_alert_threshold=0.0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            spec(**bad)
+
+    def test_window_labels(self):
+        assert _window_label(300.0) == "5m"
+        assert _window_label(3600.0) == "1h"
+        assert _window_label(90.0) == "90s"
+
+    def test_duplicate_tenant_specs_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOTracker([spec(), spec()])
+
+
+class TestBurnMath:
+    def test_unknown_tenant_is_noop(self):
+        tracker = SLOTracker([spec()])
+        assert tracker.record("nobody", latency_seconds=99.0) is False
+        assert "nobody" not in tracker.snapshot(now=0.0)
+
+    def test_latency_within_target_is_good(self):
+        tracker = SLOTracker([spec()])
+        tracker.record("t1", latency_seconds=0.4, now=1.0)
+        tracker.record("t1", latency_seconds=0.6, now=2.0)
+        windows = tracker.snapshot(now=2.0)["t1"]["windows"]
+        assert windows["10m"]["total"] == 2
+        assert windows["10m"]["bad"] == 1
+        assert windows["10m"]["error_rate"] == pytest.approx(0.5)
+        # error budget 0.1 -> burn = 0.5 / 0.1 = 5
+        assert windows["10m"]["burn_rate"] == pytest.approx(5.0)
+
+    def test_ok_flag_overrides_latency(self):
+        tracker = SLOTracker([spec()])
+        tracker.record("t1", ok=False, now=1.0)  # shed/timeout/failure
+        snap = tracker.snapshot(now=1.0)["t1"]
+        assert snap["windows"]["10m"]["bad"] == 1
+
+    def test_events_age_out_of_windows(self):
+        tracker = SLOTracker([spec()])
+        tracker.record("t1", ok=False, now=0.0)
+        snap = tracker.snapshot(now=1000.0)["t1"]  # past the 600s window
+        assert snap["windows"]["10m"]["total"] == 0
+        assert snap["windows"]["10m"]["burn_rate"] == 0.0
+
+    def test_injectable_clock(self):
+        ticks = iter([1.0, 2.0, 3.0])
+        tracker = SLOTracker([spec()], clock=lambda: next(ticks))
+        tracker.record("t1", ok=True)
+        tracker.record("t1", ok=False)
+        snap = tracker.snapshot()  # consumes the third tick
+        assert snap["t1"]["windows"]["1m"]["total"] == 2
+
+
+class TestAlertTransitions:
+    def test_alert_requires_both_windows(self):
+        """Bad events older than the short window must not page: the long
+        window shows damage but the burn already stopped."""
+        tracker = SLOTracker([spec()])
+        for i in range(10):
+            tracker.record("t1", ok=False, now=float(i))
+        assert tracker.burning("t1")
+        # a good streak after the short window has drained the bad events
+        for i in range(3):
+            assert tracker.record("t1", ok=True, now=200.0 + i) is False
+        assert not tracker.burning("t1")
+
+    def test_alert_and_recovery_events_on_bus(self):
+        bus = EventBus()
+        sink = bus.attach(MemorySink())
+        tracker = SLOTracker([spec()], bus=bus)
+        for i in range(10):
+            tracker.record("t1", ok=False, now=float(i))
+        alerts = sink.named("slo.burn_alert")
+        assert len(alerts) == 1  # fired once, not per bad event
+        attrs = alerts[0].attrs
+        assert attrs["tenant"] == "t1"
+        assert attrs["burn_1m"] >= 2.0 and attrs["burn_10m"] >= 2.0
+        assert alerts[0].value == attrs["burn_10m"]
+        for i in range(5):
+            tracker.record("t1", ok=True, now=200.0 + i)
+        assert len(sink.named("slo.burn_recovered")) == 1
+        assert tracker.snapshot(now=205.0)["t1"]["alerts"] == 1
+
+    def test_refire_counts_each_alert(self):
+        tracker = SLOTracker([spec()])
+        for i in range(5):
+            tracker.record("t1", ok=False, now=float(i))
+        for i in range(5):
+            tracker.record("t1", ok=True, now=100.0 + i)
+        for i in range(5):
+            tracker.record("t1", ok=False, now=800.0 + i)
+        assert tracker.snapshot(now=805.0)["t1"]["alerts"] == 2
+
+    def test_no_traffic_never_burns(self):
+        tracker = SLOTracker([spec()])
+        assert not tracker.burning("t1")
+        snap = tracker.snapshot(now=0.0)
+        assert snap["t1"]["burning"] is False
+
+    def test_disabled_tracker(self):
+        tracker = SLOTracker()
+        assert not tracker.enabled
+        assert tracker.record("t1", latency_seconds=1.0) is False
+        assert tracker.snapshot(now=0.0) == {}
